@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablations of the design choices called out in DESIGN.md:
+ *  - out-stationary tile shape (Sec. 5.3's 768x128 / 128x1024 choice),
+ *  - blocked 128x64 off-chip layout vs row-major (strided bursts),
+ *  - store-split granularity for load/store interleaving (Sec. 4.4,
+ *    the "12 x 64K blocks" example).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "core/report.hh"
+
+using namespace rsn;
+using rsn::bench::linearModel;
+using rsn::bench::runModel;
+using rsn::core::Table;
+
+int
+main()
+{
+    core::banner("Ablation: out-stationary tile shape "
+                 "(FF1 3072x1024x4096)");
+    {
+        Table t("Tile sweep (k_step x out_tile_m)");
+        t.header({"out_tile_m", "k_step", "latency ms", "DDR read MB"});
+        for (std::uint32_t tm : {384u, 768u, 1536u}) {
+            for (std::uint32_t ks : {64u, 128u, 256u}) {
+                auto opts = lib::ScheduleOptions::optimized();
+                opts.out_tile_m = tm;
+                opts.k_step = ks;
+                auto r = runModel(linearModel("ff1", 3072, 1024, 4096,
+                                              true, true),
+                                  opts);
+                t.row({std::to_string(tm), std::to_string(ks),
+                       Table::num(r.result.ms, 3),
+                       Table::num(r.ddr_read_mb, 1)});
+            }
+        }
+        t.print();
+    }
+
+    core::banner("Ablation: off-chip layout (blocked 128x64 vs "
+                 "row-major)");
+    {
+        Table t("Key MM 3072x1024x1024, optimized schedule");
+        t.header({"layout", "latency ms", "note"});
+        for (auto layout : {mem::LayoutKind::Blocked,
+                            mem::LayoutKind::RowMajor}) {
+            auto cfg = core::MachineConfig::vck190();
+            cfg.offchip_layout = layout;
+            auto r = runModel(linearModel("key", 3072, 1024, 1024, true),
+                              lib::ScheduleOptions::optimized(), cfg);
+            t.row({layout == mem::LayoutKind::Blocked ? "blocked 128x64"
+                                                      : "row-major",
+                   Table::num(r.result.ms, 3),
+                   layout == mem::LayoutKind::Blocked
+                       ? "one burst per touched block"
+                       : "one burst per partial row"});
+        }
+        t.print();
+    }
+
+    core::banner("Ablation: store-split granularity (Sec. 4.4)");
+    {
+        Table t("Key MM with interleaved stores, varying split");
+        t.header({"store pieces per slab", "latency ms"});
+        for (std::uint32_t split : {1u, 2u, 4u, 8u}) {
+            auto opts = lib::ScheduleOptions::optimized();
+            opts.store_split = split;
+            auto r = runModel(linearModel("key", 3072, 1024, 1024, true),
+                              opts);
+            t.row({std::to_string(split), Table::num(r.result.ms, 3)});
+        }
+        t.print();
+    }
+    return 0;
+}

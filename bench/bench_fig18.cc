@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig. 18 reproduction: latency and throughput of the BERT-Large 1st
+ * encoder vs batch size, RSN-XNN against the CHARM baseline.
+ * Paper anchors: RSN best latency 5 ms at B=1 (22x vs CHARM's best
+ * 110 ms at B=6); throughput ~97% of peak at B=3, peak 333.76 tasks/s
+ * at B=6 (3.25x CHARM's best at B=24).
+ */
+
+#include <cstdio>
+
+#include "baseline/charm.hh"
+#include "bench/bench_util.hh"
+#include "core/report.hh"
+
+using namespace rsn;
+using rsn::bench::runModel;
+using rsn::core::Table;
+
+int
+main()
+{
+    core::banner("Fig. 18: latency / throughput vs batch size "
+                 "(BERT-Large 1st encoder, S=512)");
+
+    baseline::CharmModel charm;
+
+    Table t("RSN-XNN (simulated) vs CHARM (model calibrated to "
+            "published numbers)");
+    t.header({"Batch", "RSN latency ms", "RSN tasks/s", "CHARM latency ms",
+              "CHARM tasks/s", "latency gain", "thr gain"});
+
+    double rsn_peak_thr = 0, charm_peak_thr = 0;
+    double rsn_best_lat = 1e9, charm_best_lat = 1e9;
+    for (std::uint32_t b : {1u, 2u, 3u, 6u, 12u, 24u}) {
+        auto r = runModel(lib::bertLargeEncoder(b, 512, true, 1),
+                          lib::ScheduleOptions::optimized());
+        double rsn_thr = b / (r.result.ms / 1e3);
+        auto c = charm.run(lib::bertLargeEncoder(6, 512, false, 1), b);
+        rsn_peak_thr = std::max(rsn_peak_thr, rsn_thr);
+        charm_peak_thr = std::max(charm_peak_thr, c.throughput_tasks);
+        rsn_best_lat = std::min(rsn_best_lat, r.result.ms);
+        charm_best_lat = std::min(charm_best_lat, c.latency_ms);
+        t.row({std::to_string(b), Table::num(r.result.ms, 2),
+               Table::num(rsn_thr, 1), Table::num(c.latency_ms, 1),
+               Table::num(c.throughput_tasks, 1),
+               Table::num(c.latency_ms / r.result.ms, 2) + "x",
+               Table::num(rsn_thr / c.throughput_tasks, 2) + "x"});
+    }
+    t.print();
+
+    std::printf("\nPaper anchors: best-latency gain 22x (5 ms vs 110 "
+                "ms); peak-throughput gain 3.25x.\n");
+    std::printf("Measured:     best-latency gain %.1fx (%.2f ms vs %.1f "
+                "ms); peak-throughput gain %.2fx.\n",
+                charm_best_lat / rsn_best_lat, rsn_best_lat,
+                charm_best_lat, rsn_peak_thr / charm_peak_thr);
+    return 0;
+}

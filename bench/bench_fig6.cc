@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Fig. 6 reproduction: the RSN three-FU datapath vs a RISC-like vector
+ * overlay on the two example applications. The baseline stalls on WAR
+ * hazards (no renaming); the RSN datapath streams through FUs with no
+ * intermediate register pressure.
+ */
+
+#include <cstdio>
+
+#include "baseline/vector_overlay.hh"
+#include "core/report.hh"
+#include "sim/engine.hh"
+#include "sim/stream.hh"
+#include "sim/task.hh"
+
+using namespace rsn;
+using rsn::core::Table;
+
+namespace {
+
+/**
+ * The RSN datapath of Fig. 6: FU1 (source) -> FU2 (+1) -> FU3 (sink),
+ * with a bypass stream FU1 -> FU3. Expressed directly on the simulation
+ * kernel; elements stream in groups of 4 per cycle to match the
+ * baseline's memory rate.
+ */
+struct Fig6Rsn {
+    sim::Engine eng;
+    sim::Stream s12{eng, 4 * 4.0, 2, "FU1->FU2"};
+    sim::Stream s13{eng, 4 * 4.0, 2, "FU1->FU3"};
+    sim::Stream s23{eng, 4 * 4.0, 2, "FU2->FU3"};
+
+    /** (dest FU, count) pairs: FU1's uOP sequence. */
+    using Route = std::pair<int, std::uint32_t>;
+
+    sim::Task
+    fu1(std::vector<Route> routes)
+    {
+        for (auto [dst, n] : routes) {
+            sim::Chunk c = sim::makeChunk(1, n);
+            if (dst == 2)
+                co_await s12.send(c);
+            else
+                co_await s13.send(c);
+        }
+    }
+
+    sim::Task
+    fu2(std::uint32_t total)
+    {
+        std::uint32_t done = 0;
+        while (done < total) {
+            sim::Chunk c = co_await s12.recv();
+            done += c.cols;
+            // +1 transform: one extra cycle of latency per chunk.
+            co_await eng.delay(1);
+            co_await s23.send(c);
+        }
+    }
+
+    sim::Task
+    fu3(std::vector<Route> routes)
+    {
+        for (auto [src, n] : routes) {
+            std::uint32_t got = 0;
+            while (got < n) {
+                sim::Chunk c = src == 2 ? co_await s23.recv()
+                                        : co_await s13.recv();
+                got += c.cols;
+            }
+        }
+    }
+
+    Tick
+    run(std::vector<Route> fu1_routes, std::uint32_t fu2_total,
+        std::vector<Route> fu3_routes)
+    {
+        sim::Task t1 = fu1(std::move(fu1_routes));
+        sim::Task t2 = fu2(fu2_total);
+        sim::Task t3 = fu3(std::move(fu3_routes));
+        eng.run();
+        return eng.now();
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    core::banner("Fig. 6: RSN datapath vs RISC-like vector overlay");
+
+    baseline::VectorOverlay overlay;
+
+    // Application 1: out[i] = in[i] + 1 for 100 elements.
+    auto b1 = overlay.run(baseline::fig6App1());
+    Fig6Rsn r1;
+    Tick rsn1 = r1.run({{2, 100}}, 100, {{2, 100}});
+
+    // Application 2: +1 / copy / +1 over 300 elements.
+    auto b2 = overlay.run(baseline::fig6App2());
+    Fig6Rsn r2;
+    Tick rsn2 = r2.run({{2, 100}, {3, 100}, {2, 100}}, 200,
+                       {{2, 100}, {3, 100}, {2, 100}});
+
+    Table t("Cycles to completion");
+    t.header({"Application", "baseline cycles", "baseline stalls",
+              "RSN cycles", "RSN gain"});
+    t.row({"App1: 100x (+1)", std::to_string(b1.cycles),
+           std::to_string(b1.stall_cycles), std::to_string(rsn1),
+           Table::num(double(b1.cycles) / rsn1, 2) + "x"});
+    t.row({"App2: +1 / copy / +1 (300)", std::to_string(b2.cycles),
+           std::to_string(b2.stall_cycles), std::to_string(rsn2),
+           Table::num(double(b2.cycles) / rsn2, 2) + "x"});
+    t.print();
+
+    std::printf("\nThe baseline's WAR hazards on v0 serialize App2 "
+                "(%llu stall cycles); the RSN datapath re-targets FU "
+                "paths with three uOPs and never buffers in registers "
+                "(paper Sec. 3.1).\n",
+                (unsigned long long)b2.stall_cycles);
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Microbenchmarks of the simulation kernel (google-benchmark).
+ *
+ * These quantify the host-side cost of the event engine, channels, and
+ * streams — the substrate every reproduced experiment runs on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "sim/channel.hh"
+#include "sim/engine.hh"
+#include "sim/stream.hh"
+#include "sim/task.hh"
+
+namespace {
+
+using rsn::sim::Channel;
+using rsn::sim::Engine;
+using rsn::sim::makeChunk;
+using rsn::sim::Stream;
+using rsn::sim::Task;
+
+void
+BM_EngineEventDispatch(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Engine e;
+        for (int i = 0; i < state.range(0); ++i)
+            e.schedule(i, [] {});
+        e.run();
+        benchmark::DoNotOptimize(e.eventsProcessed());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineEventDispatch)->Arg(1000)->Arg(100000);
+
+Task
+pingSender(Channel<int> &ch, int n)
+{
+    for (int i = 0; i < n; ++i)
+        co_await ch.send(i);
+}
+
+Task
+pingReceiver(Channel<int> &ch, int n, long &sum)
+{
+    for (int i = 0; i < n; ++i)
+        sum += co_await ch.recv();
+}
+
+void
+BM_ChannelPingPong(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Engine e;
+        Channel<int> ch(e, 2);
+        long sum = 0;
+        Task s = pingSender(ch, state.range(0));
+        Task r = pingReceiver(ch, state.range(0), sum);
+        e.run();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChannelPingPong)->Arg(1000)->Arg(10000);
+
+Task
+streamSender(Stream &s, int n)
+{
+    for (int i = 0; i < n; ++i)
+        co_await s.send(makeChunk(32, 32, i));
+}
+
+Task
+streamReceiver(Stream &s, int n, long &bytes)
+{
+    for (int i = 0; i < n; ++i)
+        bytes += (co_await s.recv()).bytes;
+}
+
+void
+BM_StreamChunkTransfer(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Engine e;
+        Stream s(e, 64.0, 4, "bench");
+        long bytes = 0;
+        Task snd = streamSender(s, state.range(0));
+        Task rcv = streamReceiver(s, state.range(0), bytes);
+        e.run();
+        benchmark::DoNotOptimize(bytes);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StreamChunkTransfer)->Arg(1000)->Arg(10000);
+
+} // namespace
+
+BENCHMARK_MAIN();

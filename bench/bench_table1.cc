@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Table 1 reproduction: inter-linear-layer execution and customization
+ * flexibility comparison. The RSN-XNN column is *derived from the
+ * implemented system* (each feature maps to a capability this
+ * repository actually exercises); the other columns restate the paper's
+ * literature survey.
+ */
+
+#include <cstdio>
+
+#include "core/report.hh"
+
+using namespace rsn;
+using rsn::core::Table;
+
+int
+main()
+{
+    core::banner("Table 1: execution-flexibility feature matrix");
+
+    struct Feature {
+        const char *name;
+        const char *npu;      // NPU-style overlays
+        const char *dla;      // Intel DLA
+        const char *hpipe;    // fully-pipelined fixed function
+        const char *charm;    // CHARM-style multi-FU
+        const char *tgpa;     // tile-grained pipeline
+        const char *asic;     // ASIC dataflow accelerators
+        const char *rsn;      // this work (implemented: see note)
+        const char *evidence; // where this repo demonstrates it
+    };
+
+    const Feature rows[] = {
+        {"Software programmable", "Y", "Y", "-", "-", "-", "Y", "Y",
+         "RSN programs drive all workloads (bench_table7)"},
+        {"Low instruction-level intervention", "Y", "Y", "n/a", "n/a",
+         "n/a", "-", "Y", "~1 MB/s instr. rate (bench_fig9)"},
+        {"Remove redundant circuits", "Y", "Y", "Y", "Y", "Y", "-", "Y",
+         "union datapath, Sec. 4.2 (core/machine.cc)"},
+        {"Bit-level FU customization", "-", "-", "Y", "-", "-", "-", "-",
+         "not supported (overlay, like the paper)"},
+        {"Allocate FUs by layer shape", "-", "-", "Y", "Y", "Y", "Y",
+         "Y", "attention lanes vs single-MM (lib/codegen.cc)"},
+        {"All FUs on same/fused layers (A,B,simplified C)", "Y", "Y",
+         "-", "-", "-", "Y", "Y", "fused QKV (bench_table9)"},
+        {"Interleave dependent layers tile-wise (enhanced A)", "-", "Y",
+         "-", "-", "-", "Y", "-", "excluded to save circuits (Sec. 2.2)"},
+        {"Spatially execute independent layers (C)", "-", "-", "Y", "Y",
+         "Y", "Y", "Y", "parallel attention heads (lib/codegen.cc)"},
+        {"Spatially pipeline dependent layers (D)", "-", "-", "Y", "-",
+         "Y", "Y", "Y", "MM1->softmax->MM2 chain (bench_table9)"},
+        {"Dynamic chain of pipelined FUs (A,B,C,D)", "-", "-", "-", "-",
+         "-", "Y", "Y", "runtime mapping switch (bench_table9)"},
+        {"Overlap prolog/epilog phases", "-", "Y", "-", "-", "-", "Y",
+         "Y", "cross-segment store/load overlap (bench_table9)"},
+        {"Fine off-chip load/store interleave", "-", "-", "-", "-", "-",
+         "Y", "Y", "DDR uOP ordering (bench_table9, Sec. 4.4)"},
+    };
+
+    Table t("Supported execution features (Y = supported)");
+    t.header({"Feature", "NPU", "DLA", "HPIPE", "CHARM", "TGPA", "ASIC",
+              "RSN-XNN", "evidence in this repo"});
+    for (const auto &r : rows)
+        t.row({r.name, r.npu, r.dla, r.hpipe, r.charm, r.tgpa, r.asic,
+               r.rsn, r.evidence});
+    t.print();
+    return 0;
+}

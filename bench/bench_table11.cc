@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Table 11 reproduction: BERT-Large latency vs off-chip bandwidth
+ * (SeqLen = 384, Batch = 8, 24 encoders), with the 0.5x/1x/2x/3x sweep
+ * plus the infinite-bandwidth and infinite-compute bounds.
+ * Paper: 704 / 444 / 387 / 372 ms; inf-BW 349 ms; inf-compute 311 ms;
+ * 78.6% of peak bandwidth utilized at 1x.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "core/report.hh"
+
+using namespace rsn;
+using rsn::bench::runModel;
+using rsn::core::Table;
+
+namespace {
+
+/** One full BERT-Large = 24 encoders; simulate one and scale. */
+double
+bertMs(double bw_factor, double compute_factor)
+{
+    auto cfg = core::MachineConfig::vck190();
+    cfg.ddr.read_gbps *= bw_factor;
+    cfg.ddr.write_gbps *= bw_factor;
+    cfg.lpddr.read_gbps *= bw_factor;
+    cfg.lpddr.write_gbps *= bw_factor;
+    cfg.aie.macs_per_cycle *= compute_factor;
+    auto r = runModel(lib::bertLargeEncoder(8, 384, true, 1),
+                      lib::ScheduleOptions::optimized(), cfg);
+    return r.result.ms * 24;
+}
+
+} // namespace
+
+int
+main()
+{
+    core::banner("Table 11: bandwidth sweep (BERT-Large, S=384, B=8)");
+
+    struct Row {
+        const char *name;
+        double bw, compute;
+        double paper_ms;
+    };
+    const Row rows[] = {
+        {"Infinite BW", 1000.0, 1.0, 349},
+        {"Infinite compute", 1.0, 1000.0, 311},
+        {"0.5x BW", 0.5, 1.0, 704},
+        {"1x BW", 1.0, 1.0, 444},
+        {"2x BW", 2.0, 1.0, 387},
+        {"3x BW", 3.0, 1.0, 372},
+    };
+
+    double base_ms = 0;
+    Table t("Latency vs bandwidth scaling");
+    t.header({"Scenario", "paper ms", "sim ms", "paper speedup",
+              "sim speedup"});
+    // Compute the 1x baseline first for speedup columns.
+    for (const auto &r : rows)
+        if (std::string(r.name) == "1x BW")
+            base_ms = bertMs(r.bw, r.compute);
+    for (const auto &r : rows) {
+        double ms = std::string(r.name) == "1x BW" ? base_ms
+                                                   : bertMs(r.bw,
+                                                            r.compute);
+        t.row({r.name, Table::num(r.paper_ms, 0), Table::num(ms, 0),
+               Table::num(444.0 / r.paper_ms, 2),
+               Table::num(base_ms / ms, 2)});
+    }
+    t.print();
+
+    // Bandwidth utilization at 1x (paper: 78.6% of peak).
+    {
+        auto cfg = core::MachineConfig::vck190();
+        core::RsnMachine mach(cfg);
+        auto compiled = lib::compileModel(
+            mach, lib::bertLargeEncoder(8, 384, true, 1),
+            lib::ScheduleOptions::optimized());
+        auto res = mach.run(compiled.program);
+        double moved = mach.ddrChannel().bytesRead() +
+                       mach.ddrChannel().bytesWritten() +
+                       mach.lpddrChannel().bytesRead();
+        double secs = res.ms / 1e3;
+        double peak = (25.6 + 32.0) * 1e9;  // board peak, both channels
+        std::printf("\nPeak-bandwidth utilization at 1x: %.1f%% "
+                    "(paper: 78.6%% of peak)\n",
+                    100.0 * moved / secs / peak);
+    }
+    return 0;
+}

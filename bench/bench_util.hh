@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness: construct a VCK190 machine,
+ * compile a model with given schedule options, run it, and return the
+ * interesting aggregates. Every bench binary prints paper-reported
+ * values alongside measured ones so the reproduction is auditable.
+ */
+
+#ifndef RSN_BENCH_BENCH_UTIL_HH
+#define RSN_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "core/machine.hh"
+#include "lib/codegen.hh"
+#include "lib/model.hh"
+#include "lib/schedule.hh"
+
+namespace rsn::bench {
+
+struct EncoderRun {
+    core::RunResult result;
+    double achieved_tflops = 0;
+    double ddr_read_mb = 0;
+    double ddr_write_mb = 0;
+    double lpddr_read_mb = 0;
+    std::size_t packets = 0;
+    std::uint64_t mm_flops = 0;
+};
+
+/** Compile + run @p model on a fresh VCK190 machine (timing-only). */
+inline EncoderRun
+runModel(const lib::Model &model, lib::ScheduleOptions opts,
+         core::MachineConfig cfg = core::MachineConfig::vck190())
+{
+    core::RsnMachine mach(cfg);
+    auto compiled = lib::compileModel(mach, model, opts);
+    EncoderRun out;
+    out.result = mach.run(compiled.program);
+    if (!out.result.completed) {
+        std::fprintf(stderr, "run did not complete:\n%s\n",
+                     out.result.diagnosis.c_str());
+    }
+    out.achieved_tflops = mach.achievedTflops(out.result);
+    out.ddr_read_mb = mach.ddrChannel().bytesRead() / 1e6;
+    out.ddr_write_mb = mach.ddrChannel().bytesWritten() / 1e6;
+    out.lpddr_read_mb = mach.lpddrChannel().bytesRead() / 1e6;
+    out.packets = compiled.program.size();
+    out.mm_flops = compiled.mm_flops;
+    return out;
+}
+
+/** A single linear-layer model (for per-segment experiments). */
+inline lib::Model
+linearModel(const std::string &name, std::uint32_t m, std::uint32_t k,
+            std::uint32_t n, bool bias, bool gelu = false,
+            bool layernorm = false, bool residual = false)
+{
+    lib::Model mod;
+    mod.name = name;
+    mod.input_rows = m;
+    mod.input_cols = k;
+    lib::LinearLayer l;
+    l.name = name;
+    l.m = m;
+    l.k = k;
+    l.n = n;
+    l.bias = bias;
+    l.gelu = gelu;
+    l.layernorm = layernorm;
+    l.residual = residual && k == n;
+    l.in_src = "input";
+    if (l.residual)
+        l.residual_src = "input";
+    l.out_name = "out";
+    mod.segments.emplace_back(l);
+    return mod;
+}
+
+/** A standalone attention model reading fused Q/K/V from the input. */
+inline lib::Model
+attentionModel(std::uint32_t batch, std::uint32_t seq,
+               std::uint32_t heads_per_batch, std::uint32_t dhead)
+{
+    lib::Model mod;
+    mod.name = "attention";
+    const std::uint32_t hidden = heads_per_batch * dhead;
+    mod.input_rows = batch * seq;
+    mod.input_cols = 3 * hidden;
+    lib::AttentionBlock a;
+    a.name = "attention";
+    a.heads = batch * heads_per_batch;
+    a.heads_per_batch = heads_per_batch;
+    a.seq = seq;
+    a.dhead = dhead;
+    a.q_src = a.k_src = a.v_src = "input";
+    a.q_col_off = 0;
+    a.k_col_off = hidden;
+    a.v_col_off = 2 * hidden;
+    a.out_name = "out";
+    mod.segments.emplace_back(a);
+    return mod;
+}
+
+} // namespace rsn::bench
+
+#endif // RSN_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,108 @@
+#include "baseline/charm.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace rsn::baseline {
+
+std::pair<double, double>
+CharmModel::groupWork(const lib::Model &m) const
+{
+    const double large_flops = cfg_.large_engine_tiles *
+                               cfg_.tile_gflops * 1e9 * cfg_.large_eff *
+                               cfg_.layer_sched_eff;
+    const double small_flops =
+        cfg_.small_engine_tiles * cfg_.tile_gflops * 1e9 * cfg_.small_eff;
+    const double bw = cfg_.ddr_gbps * 1e9;
+
+    double large_s = 0, small_s = 0;
+    for (const auto &seg : m.segments) {
+        if (const auto *l = std::get_if<lib::LinearLayer>(&seg)) {
+            double flops = 2.0 * l->m * l->k * l->n;
+            // Layer-by-layer: inputs, weights, and outputs all cross the
+            // single DDR channel.
+            double bytes = (double(l->m) * l->k + double(l->k) * l->n +
+                            double(l->m) * l->n) *
+                           sizeof(float);
+            double compute = flops / large_flops;
+            double mem = bytes / bw;
+            // Partial overlap of compute and memory only.
+            large_s += std::max(compute, mem) +
+                       (1.0 - cfg_.overlap) * std::min(compute, mem);
+        } else if (const auto *a =
+                       std::get_if<lib::AttentionBlock>(&seg)) {
+            double flops = 4.0 * a->heads * a->seq * a->dhead * a->seq;
+            // No layer pipelining: the score matrices spill off-chip and
+            // come back (the paper's key criticism, Sec. 5.4).
+            double scores = 2.0 * double(a->heads) * a->seq * a->seq *
+                            sizeof(float);
+            double qkv_ctx = 4.0 * double(a->heads) * a->seq * a->dhead *
+                             sizeof(float);
+            double compute = flops / small_flops;
+            double mem = (scores + qkv_ctx) / bw;
+            small_s += std::max(compute, mem) +
+                       (1.0 - cfg_.overlap) * std::min(compute, mem);
+        }
+    }
+    return {large_s, small_s};
+}
+
+CharmResult
+CharmModel::run(const lib::Model &group_model, std::uint32_t batch) const
+{
+    auto [large_s, small_s] = groupWork(group_model);
+    const double period = std::max(large_s, small_s);
+
+    // Throughput comes from pipelining `pipeline_groups` interleaved
+    // 6-batch groups across the two engines; a group's latency spans the
+    // whole interleave window until enough groups are in flight.
+    std::uint32_t groups =
+        std::max<std::uint32_t>(1, (batch + cfg_.batch_group - 1) /
+                                       cfg_.batch_group);
+    double fill = std::min<double>(groups, cfg_.pipeline_groups);
+
+    CharmResult r;
+    r.latency_ms = (large_s + small_s + (fill - 1) * period) * 1e3;
+    double steady = groups >= cfg_.pipeline_groups
+                        ? period
+                        : (large_s + small_s) / groups;
+    r.throughput_tasks = cfg_.batch_group / steady;
+
+    double bytes = 0;
+    for (const auto &seg : group_model.segments) {
+        if (const auto *l = std::get_if<lib::LinearLayer>(&seg))
+            bytes += (double(l->m) * l->k + double(l->k) * l->n +
+                      double(l->m) * l->n) *
+                     sizeof(float);
+        else if (const auto *a = std::get_if<lib::AttentionBlock>(&seg))
+            bytes += (2.0 * a->heads * a->seq * a->seq +
+                      4.0 * a->heads * a->seq * a->dhead) *
+                     sizeof(float);
+    }
+    r.ddr_traffic_mb = bytes * groups / 1e6;
+    return r;
+}
+
+double
+CharmModel::squareGemmGflops(std::uint32_t n) const
+{
+    const double peak = (cfg_.large_engine_tiles +
+                         cfg_.small_engine_tiles) *
+                        cfg_.tile_gflops * 1e9 * cfg_.large_eff;
+    const double bw = cfg_.ddr_gbps * 1e9;
+    double flops = 2.0 * n * double(n) * n;
+    // All three operands cross DDR; output-stationary reuse bounded by
+    // CHARM's on-chip tiling (LHS re-streamed per column block of 1024).
+    double reload = std::max(1.0, double(n) / 1024.0);
+    double bytes = (2.0 * n * double(n) * reload + double(n) * n) *
+                   sizeof(float);
+    double compute = flops / peak;
+    double mem = bytes / bw;
+    double t = std::max(compute, mem) +
+               (1.0 - cfg_.overlap) * std::min(compute, mem);
+    return flops / t / 1e9;
+}
+
+} // namespace rsn::baseline

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * CHARM-style baseline model (Zhuang et al., FPGA'23) — the paper's
+ * primary state-of-the-art comparison (Fig. 18, Tables 6b and 7).
+ *
+ * CHARM composes two fixed matrix-multiply engines on the VCK190: a large
+ * one for big MMs and a small one for the attention MMs. It executes
+ * layer by layer, spills attention intermediates off-chip (no layer
+ * pipelining), uses only the DDR channel, and schedules at a 6-batch
+ * granularity, interleaving four 6-batch groups to overlap the two
+ * engines. This model reconstructs that behaviour analytically on the
+ * same DRAM/AIE primitives as the RSN machine; its two efficiency
+ * constants are calibrated against CHARM's published BERT numbers
+ * (110 ms latency at B=6, throughput saturating near B=24) and are
+ * reported in bench output as calibrated values.
+ */
+
+#ifndef RSN_BASELINE_CHARM_HH
+#define RSN_BASELINE_CHARM_HH
+
+#include <cstdint>
+
+#include "fu/aie_model.hh"
+#include "lib/model.hh"
+
+namespace rsn::baseline {
+
+struct CharmConfig {
+    /** AIE tiles in the large / small engines. */
+    int large_engine_tiles = 256;
+    int small_engine_tiles = 128;
+    /** Peak per-tile FP32 throughput (8 MACs/cycle at 1.25 GHz). */
+    double tile_gflops = 20.0;
+    /** Compute efficiency of the engines on their assigned layers
+     *  (large engine near its square-GEMM efficiency; the small engine
+     *  suffers the tiny attention MMs, Sec. 5.4). */
+    double large_eff = 0.62;
+    double small_eff = 0.053;
+    /** Extra derating on layer-by-layer execution inside a group
+     *  (tile transitions, engine idle while the other engine's layer of
+     *  the same group runs). */
+    double layer_sched_eff = 0.70;
+    /** Achieved DDR bandwidth (CHARM uses only the DDR channel). */
+    double ddr_gbps = 21.0;
+    /** Fraction of DRAM time hidden under compute (no fine-grained
+     *  load/store interleaving -> partial overlap only). */
+    double overlap = 0.25;
+    /** 6-batch scheduling granularity. */
+    std::uint32_t batch_group = 6;
+    /** Interleaved groups needed to overlap both engines fully. */
+    std::uint32_t pipeline_groups = 4;
+};
+
+/** Per-run outputs. */
+struct CharmResult {
+    double latency_ms = 0;       ///< End-to-end latency for the batch.
+    double throughput_tasks = 0; ///< Tasks (sequences) per second.
+    double ddr_traffic_mb = 0;
+};
+
+class CharmModel
+{
+  public:
+    explicit CharmModel(CharmConfig cfg = {}) : cfg_(cfg) {}
+
+    const CharmConfig &config() const { return cfg_; }
+
+    /**
+     * Latency/throughput for running @p model at batch @p batch. The
+     * model must be built for ONE batch group (the model's own batch);
+     * @p batch rounds up to whole groups.
+     */
+    CharmResult run(const lib::Model &group_model,
+                    std::uint32_t batch) const;
+
+    /**
+     * Square end-to-end GEMM throughput in GFLOPS (Table 6b conditions:
+     * DDR only, one engine).
+     */
+    double squareGemmGflops(std::uint32_t n) const;
+
+  private:
+    /** Engine work seconds for one batch group (large, small). */
+    std::pair<double, double> groupWork(const lib::Model &m) const;
+
+    CharmConfig cfg_;
+};
+
+} // namespace rsn::baseline
+
+#endif // RSN_BASELINE_CHARM_HH

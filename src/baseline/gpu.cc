@@ -1,0 +1,90 @@
+#include "baseline/gpu.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rsn::baseline {
+
+std::vector<GpuSpec>
+table10Gpus()
+{
+    std::vector<GpuSpec> v;
+    v.push_back(GpuSpec{"T4", "FP32", 2018, 12, 8.1, 320, 545, 72, 42,
+                        {67, 127, 258, 499}, 31});
+    v.push_back(GpuSpec{"V100", "FP32", 2017, 12, 15.7, 900, 815, 292,
+                        256, {29, 49, 93, 182}, 0});
+    v.push_back(GpuSpec{"A100", "FP32", 2020, 7, 19.5, 1555, 826, 308,
+                        268, {23, 40, 72, 137}, 34});
+    v.push_back(GpuSpec{"A100-FP16", "FP16", 2020, 7, 312, 1555, 826,
+                        392, 352, {8, 10, 15, 23}, 25});
+    v.push_back(GpuSpec{"L4", "FP32", 2023, 5, 30.3, 300, 294, 72, 41,
+                        {41, 83, 156, 307}, 12});
+    return v;
+}
+
+double
+GpuModel::computeEff(std::uint32_t rows) const
+{
+    // GEMM efficiency grows with the M dimension and saturates; FP32 on
+    // CUDA cores tops out around 60% of datasheet peak, tensor-core FP16
+    // somewhat lower relative to its much higher peak.
+    double sat = spec_.precision == "FP16" ? 0.45 : 0.60;
+    double half_point = 100.0;  // rows at which eff approaches sat
+    return sat * rows / (rows + half_point);
+}
+
+double
+GpuModel::bertLatencyMs(std::uint32_t seq, std::uint32_t batch) const
+{
+    const std::uint32_t rows = seq * batch;
+    const double hidden = 1024, ff = 4096, heads = 16.0 * batch;
+    const int layers = 24;
+
+    // Per-encoder FLOPs.
+    double mm_flops = 2.0 * rows * hidden * hidden * 4   // QKV + dense
+                      + 2.0 * rows * hidden * ff * 2     // FF1 + FF2
+                      + 4.0 * heads * seq * (hidden / 16) * seq;
+    double peak = spec_.peak_tflops * 1e12 * computeEff(rows);
+
+    // DRAM traffic per encoder: weights stream once per launch group
+    // plus activations; GPUs re-read weights every kernel launch.
+    double weight_bytes = (4 * hidden * hidden + 2 * hidden * ff) * 4.0;
+    double act_bytes = (8.0 * rows * hidden + 2.0 * rows * ff +
+                        2.0 * heads * seq * seq) *
+                       4.0;
+    double bw = spec_.bw_gbs * 1e9 * 0.70;
+
+    double compute_s = mm_flops / peak;
+    double mem_s = (weight_bytes + act_bytes) / bw;
+    // Kernel-launch and attention small-kernel overhead per encoder.
+    double overhead_s = 120e-6;
+    return (std::max(compute_s, mem_s) + overhead_s) * layers * 1e3;
+}
+
+double
+GpuModel::bertDramGb(std::uint32_t seq, std::uint32_t batch) const
+{
+    const std::uint32_t rows = seq * batch;
+    const double hidden = 1024, ff = 4096, heads = 16.0 * batch;
+    const int layers = 24;
+    double weight_bytes = (4 * hidden * hidden + 2 * hidden * ff) * 4.0;
+    double act_bytes = (8.0 * rows * hidden + 2.0 * rows * ff +
+                        2.0 * heads * seq * seq) *
+                       4.0;
+    // Cache-miss amplification on activations + weight re-reads across
+    // the many kernels of one encoder.
+    double amplification = spec_.precision == "FP16" ? 2.0 : 2.6;
+    return (weight_bytes + act_bytes) * amplification * layers / 1e9;
+}
+
+double
+GpuModel::efficiencySeqPerJ(std::uint32_t seq, std::uint32_t batch,
+                            bool dynamic) const
+{
+    double lat_s = bertLatencyMs(seq, batch) / 1e3;
+    double power = dynamic ? spec_.dynamic_w : spec_.operating_w;
+    double energy = lat_s * power;
+    return batch / energy;
+}
+
+} // namespace rsn::baseline

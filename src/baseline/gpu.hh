@@ -1,0 +1,69 @@
+/**
+ * @file
+ * GPU roofline model for the Table 10 comparison (T4 / V100 / A100 / L4).
+ *
+ * The paper compares RSN-XNN against NVIDIA GPUs using published numbers;
+ * this model reconstructs GPU BERT-Large latency/energy from datasheet
+ * peaks with a batch-dependent efficiency curve, and embeds the paper's
+ * measured values as reference columns so bench_table10 can print
+ * model-vs-paper side by side.
+ */
+
+#ifndef RSN_BASELINE_GPU_HH
+#define RSN_BASELINE_GPU_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rsn::baseline {
+
+struct GpuSpec {
+    std::string name;
+    std::string precision = "FP32";
+    int release_year = 0;
+    int process_nm = 0;
+    double peak_tflops = 0;
+    double bw_gbs = 0;
+    double die_mm2 = 0;
+    double operating_w = 0;  ///< Measured at B=8 (paper Table 10).
+    double dynamic_w = 0;
+    /** Paper-reported latencies (ms) at B = 1, 2, 4, 8; 0 if absent. */
+    double paper_latency_ms[4] = {0, 0, 0, 0};
+    double paper_dram_gb = 0;  ///< Total DRAM traffic at B=8.
+};
+
+/** The GPUs of Table 10 with datasheet constants and paper values. */
+std::vector<GpuSpec> table10Gpus();
+
+class GpuModel
+{
+  public:
+    explicit GpuModel(GpuSpec spec) : spec_(std::move(spec)) {}
+
+    const GpuSpec &spec() const { return spec_; }
+
+    /**
+     * Modeled BERT-Large end-to-end latency (24 encoders) in ms for
+     * sequence length @p seq and batch @p batch.
+     */
+    double bertLatencyMs(std::uint32_t seq, std::uint32_t batch) const;
+
+    /** Modeled DRAM traffic for the same run, in GB. */
+    double bertDramGb(std::uint32_t seq, std::uint32_t batch) const;
+
+    /** Sequences per joule at batch @p batch (operating / dynamic). */
+    double efficiencySeqPerJ(std::uint32_t seq, std::uint32_t batch,
+                             bool dynamic) const;
+
+  private:
+    /** Compute-efficiency saturation with batch (FP32 GEMM on CUDA
+     *  cores reaches ~60% of peak once the GEMMs are large). */
+    double computeEff(std::uint32_t rows) const;
+
+    GpuSpec spec_;
+};
+
+} // namespace rsn::baseline
+
+#endif // RSN_BASELINE_GPU_HH

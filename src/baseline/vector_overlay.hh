@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Baseline overlay: the RISC-like vector ISA of paper Fig. 6.
+ *
+ * A von-Neumann-style DNN overlay in the style of Brainwave: a
+ * single-threaded, in-order instruction stream over named vector
+ * registers and load/add/store units. Instructions are architecturally
+ * atomic, and hazards (RAW on sources, WAR/WAW on destinations) are
+ * resolved by stalling — there is no register renaming, because renaming
+ * large on-chip-buffer "registers" is too costly on FPGAs (Sec. 3.1).
+ *
+ * bench_fig6 runs the paper's two applications on this model and on the
+ * RSN three-FU datapath to reproduce the stall behaviour comparison.
+ */
+
+#ifndef RSN_BASELINE_VECTOR_OVERLAY_HH
+#define RSN_BASELINE_VECTOR_OVERLAY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rsn::baseline {
+
+/** Baseline opcodes. */
+enum class VOp : std::uint8_t { Load, Store, Add };
+
+/** One vector instruction (register indices; Add is v_dst = v_a + v_b). */
+struct VInstr {
+    VOp op;
+    int dst = -1;   ///< Destination register (Load/Add) .
+    int src_a = -1; ///< Source register (Store/Add).
+    int src_b = -1; ///< Second source (Add).
+    std::uint32_t elems = 0;
+
+    std::string toString() const;
+};
+
+/** Timing/structure of the baseline datapath. */
+struct VectorOverlayConfig {
+    int num_regs = 3;
+    /** Elements moved per cycle by the load/store unit. */
+    double mem_elems_per_cycle = 4;
+    /** Elements per cycle through the add unit. */
+    double alu_elems_per_cycle = 8;
+    /** Fixed issue/decode cost per instruction. */
+    Tick issue_cycles = 1;
+};
+
+/** Result of executing a baseline program. */
+struct VectorRunResult {
+    Tick cycles = 0;
+    Tick stall_cycles = 0;    ///< Cycles lost to RAW/WAR/WAW hazards.
+    std::uint64_t instructions = 0;
+};
+
+/**
+ * In-order execution model: each unit (memory, ALU) is a resource with a
+ * busy-until time; an instruction issues when its sources are ready
+ * (RAW), its destination is free (WAR/WAW), and its unit is idle.
+ */
+class VectorOverlay
+{
+  public:
+    explicit VectorOverlay(VectorOverlayConfig cfg = {});
+
+    /** Execute @p prog and report timing. */
+    VectorRunResult run(const std::vector<VInstr> &prog) const;
+
+  private:
+    VectorOverlayConfig cfg_;
+};
+
+/** The paper's Application 1: out[0..100) = in[0..100) + 1. */
+std::vector<VInstr> fig6App1();
+
+/** Application 2: +1 / copy / +1 over three 100-element ranges. */
+std::vector<VInstr> fig6App2();
+
+} // namespace rsn::baseline
+
+#endif // RSN_BASELINE_VECTOR_OVERLAY_HH

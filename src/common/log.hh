@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal logging / assertion helpers in the gem5 style: panic() for
+ * simulator bugs, fatal() for user errors, warn()/inform() for status.
+ */
+
+#ifndef RSN_COMMON_LOG_HH
+#define RSN_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace rsn {
+
+/** Global verbosity: 0 = quiet, 1 = inform, 2 = debug trace. */
+int logLevel();
+void setLogLevel(int level);
+
+namespace detail {
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+std::string formatv(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+} // namespace detail
+
+/** Abort: something happened that indicates a simulator bug. */
+#define rsn_panic(...) \
+    ::rsn::detail::panicImpl(__FILE__, __LINE__, \
+                             ::rsn::detail::formatv(__VA_ARGS__))
+
+/** Exit(1): the simulation cannot continue due to a user/config error. */
+#define rsn_fatal(...) \
+    ::rsn::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::rsn::detail::formatv(__VA_ARGS__))
+
+/** Warning that does not stop the simulation. */
+#define rsn_warn(...) \
+    ::rsn::detail::warnImpl(::rsn::detail::formatv(__VA_ARGS__))
+
+/** Status message shown at logLevel() >= 1. */
+#define rsn_inform(...) \
+    ::rsn::detail::informImpl(::rsn::detail::formatv(__VA_ARGS__))
+
+/** Internal invariant check that survives NDEBUG builds. */
+#define rsn_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            rsn_panic("assertion failed: %s — %s", #cond, \
+                      ::rsn::detail::formatv(__VA_ARGS__).c_str()); \
+        } \
+    } while (0)
+
+} // namespace rsn
+
+#endif // RSN_COMMON_LOG_HH

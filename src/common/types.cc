@@ -1,0 +1,36 @@
+#include "common/types.hh"
+
+namespace rsn {
+
+const char *
+fuTypeName(FuType t)
+{
+    switch (t) {
+      case FuType::Mme: return "MME";
+      case FuType::MemA: return "MemA";
+      case FuType::MemB: return "MemB";
+      case FuType::MemC: return "MemC";
+      case FuType::MeshA: return "MeshA";
+      case FuType::MeshB: return "MeshB";
+      case FuType::Ddr: return "DDR";
+      case FuType::Lpddr: return "LPDDR";
+      default: return "Invalid";
+    }
+}
+
+std::string
+FuId::toString() const
+{
+    if (!valid())
+        return "none";
+    std::string s = fuTypeName(type);
+    // Mesh/DDR/LPDDR are singletons in RSN-XNN; only multi-instance types
+    // carry an index suffix.
+    if (type == FuType::Mme || type == FuType::MemA ||
+        type == FuType::MemB || type == FuType::MemC) {
+        s += std::to_string(index);
+    }
+    return s;
+}
+
+} // namespace rsn

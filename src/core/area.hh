@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Structural area model for the overlay's control plane (paper Table 5a).
+ *
+ * The decoder unit's area scales with its structure: the fetch unit, one
+ * second-level decoder per FU type, the per-FU uOP FIFOs, and the
+ * packet FIFOs between levels. Constants are calibrated to the reported
+ * RSN-XNN decoder footprint (11.7k LUT / 8.6k FF / 5 DSP / 4 BRAM,
+ * roughly 3% of the design) and the model exposes how the overhead
+ * scales when the datapath grows — something the paper's single data
+ * point cannot show.
+ */
+
+#ifndef RSN_CORE_AREA_HH
+#define RSN_CORE_AREA_HH
+
+#include <cstdint>
+
+#include "core/config.hh"
+
+namespace rsn::core {
+
+struct AreaBreakdown {
+    std::uint32_t lut = 0;
+    std::uint32_t ff = 0;
+    std::uint32_t dsp = 0;
+    std::uint32_t bram = 0;
+};
+
+/** Total RSN-XNN design footprint (Sec. 5, reported utilization). */
+struct DesignArea {
+    std::uint32_t lut = 494855;
+    std::uint32_t ff = 598144;
+    std::uint32_t dsp = 1073;
+    std::uint32_t bram = 967;
+    std::uint32_t uram = 463;
+};
+
+class AreaModel
+{
+  public:
+    /** Decoder-unit area for a machine configuration. */
+    static AreaBreakdown decoderArea(const MachineConfig &cfg);
+
+    /** Decoder overhead as a percentage of the full design's LUTs. */
+    static double decoderLutPercent(const MachineConfig &cfg,
+                                    const DesignArea &design = {});
+};
+
+} // namespace rsn::core
+
+#endif // RSN_CORE_AREA_HH

@@ -1,0 +1,21 @@
+#include "core/config.hh"
+
+namespace rsn::core {
+
+MachineConfig
+MachineConfig::vck190(bool functional)
+{
+    MachineConfig cfg;
+    // Off-chip channels: peak 25.6 GB/s DDR4 / 32 GB/s LPDDR4; the model
+    // uses the achieved rates the paper measured (Sec. 5.3).
+    cfg.ddr.name = "DDR";
+    cfg.ddr.read_gbps = 21.0;
+    cfg.ddr.write_gbps = 23.5;
+    cfg.lpddr.name = "LPDDR";
+    cfg.lpddr.read_gbps = 20.5;
+    cfg.lpddr.write_gbps = 20.5;  // LPDDR is load-only in RSN-XNN.
+    cfg.functional = functional;
+    return cfg;
+}
+
+} // namespace rsn::core

@@ -1,0 +1,262 @@
+#include "core/machine.hh"
+
+#include "common/log.hh"
+#include "fu/ddr_fus.hh"
+#include "fu/mem_fus.hh"
+#include "fu/mesh.hh"
+#include "fu/mme.hh"
+
+namespace rsn::core {
+
+namespace {
+
+FuId
+mme(int i)
+{
+    return {FuType::Mme, static_cast<std::uint8_t>(i)};
+}
+FuId
+memA(int i)
+{
+    return {FuType::MemA, static_cast<std::uint8_t>(i)};
+}
+FuId
+memB(int i)
+{
+    return {FuType::MemB, static_cast<std::uint8_t>(i)};
+}
+FuId
+memC(int i)
+{
+    return {FuType::MemC, static_cast<std::uint8_t>(i)};
+}
+
+constexpr FuId kMeshA{FuType::MeshA, 0};
+constexpr FuId kMeshB{FuType::MeshB, 0};
+constexpr FuId kDdr{FuType::Ddr, 0};
+constexpr FuId kLpddr{FuType::Lpddr, 0};
+
+} // namespace
+
+net::Topology
+buildRsnXnnTopology(const MachineConfig &cfg)
+{
+    net::Topology t;
+    const auto &w = cfg.widths;
+    const auto depth = cfg.stream_depth;
+
+    t.addNode(kDdr);
+    t.addNode(kLpddr);
+    t.addNode(kMeshA);
+    t.addNode(kMeshB);
+    for (int i = 0; i < cfg.num_mme; ++i)
+        t.addNode(mme(i));
+    for (int i = 0; i < cfg.num_mem_a; ++i)
+        t.addNode(memA(i));
+    for (int i = 0; i < cfg.num_mem_b; ++i)
+        t.addNode(memB(i));
+    for (int i = 0; i < cfg.num_mem_c; ++i)
+        t.addNode(memC(i));
+
+    // DDR feature-map paths: LHS tiles into MemA, attention K/V into MemB,
+    // residual tiles into MemC (union-datapath decisions, Sec. 4.2).
+    for (int i = 0; i < cfg.num_mem_a; ++i)
+        t.addEdge({kDdr, memA(i), w.ddr_to_mem, depth});
+    for (int i = 0; i < cfg.num_mem_b; ++i)
+        t.addEdge({kDdr, memB(i), w.ddr_to_mem, depth});
+    for (int i = 0; i < cfg.num_mem_c; ++i)
+        t.addEdge({kDdr, memC(i), w.ddr_to_mem, depth});
+
+    // LPDDR weight/bias paths into MemB; LayerNorm parameters into MemC.
+    for (int i = 0; i < cfg.num_mem_b; ++i)
+        t.addEdge({kLpddr, memB(i), w.lpddr_to_mem, depth});
+    for (int i = 0; i < cfg.num_mem_c; ++i)
+        t.addEdge({kLpddr, memC(i), w.lpddr_to_mem, depth});
+
+    // Scratchpads into the meshes.
+    for (int i = 0; i < cfg.num_mem_a; ++i)
+        t.addEdge({memA(i), kMeshA, w.mem_to_mesh, depth});
+    for (int i = 0; i < cfg.num_mem_b; ++i)
+        t.addEdge({memB(i), kMeshB, w.mem_to_mesh, depth});
+    // MemC re-injection for dynamic layer pipelining (Table 1's "dynamic
+    // chain of pipelined FUs").
+    for (int i = 0; i < cfg.num_mem_c; ++i) {
+        t.addEdge({memC(i), kMeshA, w.mem_to_mesh, depth});
+        t.addEdge({memC(i), kMeshB, w.mem_to_mesh, depth});
+    }
+
+    // Meshes into the MMEs; each MME into its fixed MemC partner; MemC
+    // store path back through the DDR FU.
+    for (int i = 0; i < cfg.num_mme; ++i) {
+        t.addEdge({kMeshA, mme(i), w.mesha_to_mme, depth});
+        t.addEdge({kMeshB, mme(i), w.meshb_to_mme, depth});
+        t.addEdge({mme(i), memC(i), w.mme_to_memc, depth});
+    }
+    for (int i = 0; i < cfg.num_mem_c; ++i)
+        t.addEdge({memC(i), kDdr, w.memc_to_ddr, depth});
+
+    t.validate();
+    return t;
+}
+
+RsnMachine::RsnMachine(const MachineConfig &cfg)
+    : cfg_(cfg), host_(cfg.functional),
+      ddr_chan_(std::make_unique<mem::DramChannel>(eng_, cfg.ddr)),
+      lpddr_chan_(std::make_unique<mem::DramChannel>(eng_, cfg.lpddr)),
+      topo_(buildRsnXnnTopology(cfg))
+{
+    rsn_assert(cfg.num_mme == cfg.num_mem_c,
+               "each MME needs a MemC partner");
+    buildFus();
+    buildStreams();
+    decoder_ = std::make_unique<isa::DecoderUnit>(
+        eng_, isa::DecoderUnit::Config{cfg.fetch_fifo_depth,
+                                       cfg.decoder_ticks_per_packet,
+                                       cfg.decoder_ticks_per_uop});
+    for (auto &f : fus_)
+        decoder_->attach(f.get());
+}
+
+void
+RsnMachine::buildFus()
+{
+    fu::AieModel aie_model(cfg_.aie);
+    for (int i = 0; i < cfg_.num_mme; ++i)
+        fus_.push_back(std::make_unique<fu::MmeFu>(
+            eng_, mme(i), aie_model, kMeshA, kMeshB, memC(i)));
+    for (int i = 0; i < cfg_.num_mem_a; ++i)
+        fus_.push_back(std::make_unique<fu::MemAFu>(eng_, memA(i),
+                                                    kMeshA));
+    for (int i = 0; i < cfg_.num_mem_b; ++i)
+        fus_.push_back(std::make_unique<fu::MemBFu>(eng_, memB(i),
+                                                    kMeshB));
+    for (int i = 0; i < cfg_.num_mem_c; ++i)
+        fus_.push_back(std::make_unique<fu::MemCFu>(
+            eng_, memC(i), mme(i), kDdr, cfg_.memc_flops_per_tick));
+    fus_.push_back(std::make_unique<fu::MeshFu>(eng_, kMeshA));
+    fus_.push_back(std::make_unique<fu::MeshFu>(eng_, kMeshB));
+    fus_.push_back(std::make_unique<fu::DdrFu>(
+        eng_, kDdr, *ddr_chan_, host_, cfg_.offchip_layout));
+    fus_.push_back(std::make_unique<fu::LpddrFu>(
+        eng_, kLpddr, *lpddr_chan_, host_, cfg_.offchip_layout));
+}
+
+void
+RsnMachine::buildStreams()
+{
+    for (const auto &e : topo_.edges()) {
+        streams_.push_back(std::make_unique<sim::Stream>(
+            eng_, e.bytes_per_tick, e.depth, e.name()));
+        stream_edges_.push_back(e);
+        sim::Stream *s = streams_.back().get();
+        fu(e.src)->addOutput(e.dst, s);
+        fu(e.dst)->addInput(e.src, s);
+    }
+}
+
+fu::Fu *
+RsnMachine::fu(FuId id)
+{
+    for (auto &f : fus_)
+        if (f->id() == id)
+            return f.get();
+    rsn_panic("unknown FU %s", id.toString().c_str());
+}
+
+sim::Stream *
+RsnMachine::stream(FuId src, FuId dst)
+{
+    for (std::size_t i = 0; i < streams_.size(); ++i)
+        if (stream_edges_[i].src == src && stream_edges_[i].dst == dst)
+            return streams_[i].get();
+    return nullptr;
+}
+
+RunResult
+RsnMachine::run(const isa::RsnProgram &prog, Tick max_ticks)
+{
+    rsn_assert(!ran_, "RsnMachine::run may only be called once");
+    ran_ = true;
+    prog.validate();
+
+    for (auto &f : fus_)
+        f->start();
+    decoder_->start(prog);
+
+    bool quiesced = eng_.run(max_ticks);
+
+    RunResult r;
+    r.ticks = eng_.now();
+    r.ms = ticksToMs(r.ticks, cfg_.clocks.plHz);
+    bool all_halted = true;
+    for (auto &f : fus_)
+        all_halted &= f->halted();
+    r.completed = quiesced && all_halted && decoder_->done();
+    r.deadlocked = quiesced && !r.completed;
+    r.timed_out = !quiesced;
+    if (!r.completed)
+        r.diagnosis = stallReport();
+    return r;
+}
+
+std::string
+RsnMachine::stallReport() const
+{
+    std::string s = decoder_->stateString() + "\n";
+    for (const auto &f : fus_)
+        if (!f->halted())
+            s += f->name() + ": " + f->stateString() + "\n";
+    return s;
+}
+
+std::uint64_t
+RsnMachine::totalFlops() const
+{
+    std::uint64_t total = 0;
+    for (const auto &f : fus_)
+        total += f->stats().flops;
+    return total;
+}
+
+double
+RsnMachine::achievedTflops(const RunResult &r) const
+{
+    if (r.ticks == 0)
+        return 0;
+    double secs = static_cast<double>(r.ticks) / cfg_.clocks.plHz;
+    return totalFlops() / secs / 1e12;
+}
+
+double
+RsnMachine::peakTflops() const
+{
+    fu::AieModel m(cfg_.aie);
+    return m.peakFlopsPerMme() * cfg_.num_mme / 1e12;
+}
+
+double
+RsnMachine::fuPeakTflops(FuId id) const
+{
+    if (id.type == FuType::Mme) {
+        fu::AieModel m(cfg_.aie);
+        return m.peakFlopsPerMme() / 1e12;
+    }
+    if (id.type == FuType::MemC)
+        return cfg_.memc_flops_per_tick * cfg_.clocks.plHz / 1e12;
+    return 0.0;
+}
+
+Bytes
+RsnMachine::fuMemoryBytes(FuId id) const
+{
+    switch (id.type) {
+      case FuType::Mme: return cfg_.memories.mme;
+      case FuType::MemA: return cfg_.memories.mem_a;
+      case FuType::MemB:
+        return id.index < 2 ? cfg_.memories.mem_b01 : cfg_.memories.mem_b2;
+      case FuType::MemC: return cfg_.memories.mem_c;
+      default: return 0;
+    }
+}
+
+} // namespace rsn::core

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * RsnMachine: the assembled RSN-XNN computer (paper Fig. 10).
+ *
+ * Instantiates the datapath — 6 MME, 3 MemA, 3 MemB, 6 MemC, MeshA/B,
+ * DDR and LPDDR mover FUs — wires the stream network from the topology,
+ * attaches the three-level instruction decoder, and runs RSN programs.
+ *
+ * A machine runs exactly one program (simulated time is monotonic);
+ * experiments construct one machine per configuration point.
+ */
+
+#ifndef RSN_CORE_MACHINE_HH
+#define RSN_CORE_MACHINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "fu/fu.hh"
+#include "isa/decoder.hh"
+#include "isa/packet.hh"
+#include "mem/dram.hh"
+#include "mem/hostmem.hh"
+#include "net/topology.hh"
+#include "sim/engine.hh"
+
+namespace rsn::core {
+
+/** Build the RSN-XNN "union" datapath graph for @p cfg (Sec. 4.2). */
+net::Topology buildRsnXnnTopology(const MachineConfig &cfg);
+
+/** Outcome of executing one RSN program. */
+struct RunResult {
+    bool completed = false;    ///< Program drained, all FUs halted.
+    bool deadlocked = false;   ///< Quiesced with blocked FUs/decoders.
+    bool timed_out = false;    ///< Hit the tick limit.
+    Tick ticks = 0;
+    double ms = 0;             ///< Wall-clock on the modeled platform.
+    std::string diagnosis;     ///< Stall report when not completed.
+};
+
+class RsnMachine
+{
+  public:
+    explicit RsnMachine(const MachineConfig &cfg);
+
+    const MachineConfig &config() const { return cfg_; }
+    sim::Engine &engine() { return eng_; }
+    mem::HostMemory &host() { return host_; }
+    mem::DramChannel &ddrChannel() { return *ddr_chan_; }
+    mem::DramChannel &lpddrChannel() { return *lpddr_chan_; }
+    const net::Topology &topology() const { return topo_; }
+    isa::DecoderUnit &decoder() { return *decoder_; }
+
+    fu::Fu *fu(FuId id);
+    const std::vector<std::unique_ptr<fu::Fu>> &fus() const
+    {
+        return fus_;
+    }
+    sim::Stream *stream(FuId src, FuId dst);
+    const std::vector<std::unique_ptr<sim::Stream>> &streams() const
+    {
+        return streams_;
+    }
+
+    /** Execute @p prog until completion / quiesce / @p max_ticks. */
+    RunResult run(const isa::RsnProgram &prog,
+                  Tick max_ticks = Tick(200) * 1000 * 1000 * 1000);
+
+    /** @{ Introspection for Fig. 16 / Table 5 / power model. */
+    std::uint64_t totalFlops() const;
+    double achievedTflops(const RunResult &r) const;
+    double peakTflops() const;
+    double fuPeakTflops(FuId id) const;
+    Bytes fuMemoryBytes(FuId id) const;
+    /** @} */
+
+  private:
+    void buildStreams();
+    void buildFus();
+    std::string stallReport() const;
+
+    MachineConfig cfg_;
+    sim::Engine eng_;
+    mem::HostMemory host_;
+    std::unique_ptr<mem::DramChannel> ddr_chan_;
+    std::unique_ptr<mem::DramChannel> lpddr_chan_;
+    net::Topology topo_;
+    std::vector<std::unique_ptr<fu::Fu>> fus_;
+    std::vector<std::unique_ptr<sim::Stream>> streams_;
+    /** Parallel to streams_: the edge each stream realizes. */
+    std::vector<net::Edge> stream_edges_;
+    std::unique_ptr<isa::DecoderUnit> decoder_;
+    bool ran_ = false;
+};
+
+} // namespace rsn::core
+
+#endif // RSN_CORE_MACHINE_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Activity-based power/energy model (paper Table 4, Fig. 15, Table 10).
+ *
+ * Per component: P = P_idle + utilization-scaled dynamic power, where
+ * utilization comes from the simulator's activity counters (busy ticks,
+ * bytes moved, FLOPs executed). The per-type constants are calibrated so
+ * a BERT-Large encoder run reproduces the Vivado-report ratios of
+ * Table 4 (AIE ~62%, MemC ~23%, decoder < 0.1%) and the board-level
+ * operating/dynamic split of Table 10 (45.5 W / 18.2 W).
+ */
+
+#ifndef RSN_CORE_POWER_HH
+#define RSN_CORE_POWER_HH
+
+#include <map>
+#include <string>
+
+#include "core/machine.hh"
+
+namespace rsn::core {
+
+/** Per-FU-type power constants (Watts at full activity). */
+struct PowerParams {
+    /** Dynamic W per MME at 100% compute utilization. Calibrated to the
+     *  board-measured 18.2 W dynamic power at ~59%% utilization split by
+     *  the Vivado-report ratios of Table 4 (the paper notes the Vivado
+     *  absolute numbers are over-estimates). */
+    double mme_dynamic = 3.2;
+    /** Dynamic W per MemC; activity tracks the MM pipeline feeding it. */
+    double memc_dynamic = 1.2;
+    double memb_dynamic = 0.10;
+    double mema_dynamic = 0.06;
+    double ddr_dynamic = 0.10;
+    double lpddr_dynamic = 0.06;
+    double mesh_dynamic = 0.04;
+    double decoder_dynamic = 0.03;
+    /** Board static/idle power outside the datapath (PS, clocking,
+     *  transceivers) for the operating-power figure. */
+    double board_static = 27.3;
+};
+
+/** One row of the power breakdown. */
+struct PowerRow {
+    std::string component;
+    double watts = 0;
+    double percent = 0;
+};
+
+class PowerModel
+{
+  public:
+    explicit PowerModel(PowerParams p = {}) : p_(p) {}
+
+    /**
+     * Estimated power breakdown by component for a finished run
+     * (activity counters over r.ticks), Vivado-report style: datapath
+     * components only, like Table 4.
+     */
+    std::vector<PowerRow> breakdown(RsnMachine &m,
+                                    const RunResult &r) const;
+
+    /** Total datapath (dynamic) power. */
+    double dynamicWatts(RsnMachine &m, const RunResult &r) const;
+
+    /** Operating power = dynamic + board static. */
+    double operatingWatts(RsnMachine &m, const RunResult &r) const;
+
+    /** Energy for the run in joules (operating or dynamic). */
+    double energyJ(RsnMachine &m, const RunResult &r,
+                   bool dynamic) const;
+
+  private:
+    PowerParams p_;
+};
+
+} // namespace rsn::core
+
+#endif // RSN_CORE_POWER_HH

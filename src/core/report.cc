@@ -1,0 +1,74 @@
+#include "core/report.hh"
+
+#include <algorithm>
+
+namespace rsn::core {
+
+void
+Table::header(std::vector<std::string> cols)
+{
+    header_ = std::move(cols);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    cells.resize(header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::pct(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v);
+    return buf;
+}
+
+void
+Table::print() const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &r : rows_)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+
+    std::printf("\n%s\n", title_.c_str());
+    auto rule = [&] {
+        for (std::size_t c = 0; c < header_.size(); ++c) {
+            std::printf("+");
+            for (std::size_t i = 0; i < width[c] + 2; ++i)
+                std::printf("-");
+        }
+        std::printf("+\n");
+    };
+    rule();
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        std::printf("| %-*s ", int(width[c]), header_[c].c_str());
+    std::printf("|\n");
+    rule();
+    for (const auto &r : rows_) {
+        for (std::size_t c = 0; c < header_.size(); ++c)
+            std::printf("| %-*s ", int(width[c]), r[c].c_str());
+        std::printf("|\n");
+    }
+    rule();
+}
+
+void
+banner(const std::string &text)
+{
+    std::printf("\n=== %s ===\n", text.c_str());
+}
+
+} // namespace rsn::core

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fixed-width table printer used by the benchmark harness so every
+ * reproduced table/figure prints in a consistent, paper-like format.
+ */
+
+#ifndef RSN_CORE_REPORT_HH
+#define RSN_CORE_REPORT_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rsn::core {
+
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the column headers (defines the column count). */
+    void header(std::vector<std::string> cols);
+
+    /** Append one row (cells beyond the header count are dropped). */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience formatting helpers. */
+    static std::string num(double v, int precision = 2);
+    static std::string pct(double v, int precision = 1);
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner. */
+void banner(const std::string &text);
+
+} // namespace rsn::core
+
+#endif // RSN_CORE_REPORT_HH

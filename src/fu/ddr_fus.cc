@@ -1,0 +1,99 @@
+#include "fu/ddr_fus.hh"
+
+#include "common/log.hh"
+
+namespace rsn::fu {
+
+std::uint32_t
+blockBursts(std::uint32_t rows, std::uint32_t cols, std::uint32_t pitch,
+            mem::LayoutKind kind)
+{
+    if (kind == mem::LayoutKind::Blocked) {
+        mem::BlockedLayout bl;
+        return ((rows + bl.block_rows - 1) / bl.block_rows) *
+               ((cols + bl.block_cols - 1) / bl.block_cols);
+    }
+    // Row-major: contiguous when the block spans full rows.
+    return (pitch == cols) ? 1 : rows;
+}
+
+// ----------------------------------------------------------------- DDR --
+
+DdrFu::DdrFu(sim::Engine &eng, FuId id, mem::DramChannel &chan,
+             mem::HostMemory &host, mem::LayoutKind layout)
+    : Fu(eng, id), chan_(chan), host_(host), layout_(layout)
+{
+}
+
+sim::Task
+DdrFu::runKernel(const isa::Uop &uop)
+{
+    const auto &u = std::get<isa::DdrUop>(uop);
+    rsn_assert(u.load != u.store,
+               "DDR uOP must be exactly one of load/store");
+
+    for (std::uint32_t i = 0; i < u.stride_count; ++i) {
+        Addr addr = u.addr + std::uint64_t(i) * u.stride_offset;
+        if (u.load) {
+            mem::DramRequest req{mem::Dir::Read,
+                                 Bytes(u.rows) * u.cols * sizeof(float),
+                                 blockBursts(u.rows, u.cols, u.pitch,
+                                             layout_)};
+            co_await chan_.access(req);
+            sim::Chunk c;
+            if (host_.functional()) {
+                c = sim::makeDataChunk(
+                    u.rows, u.cols,
+                    host_.readBlock(addr, u.pitch, u.rows, u.cols), i);
+            } else {
+                c = sim::makeChunk(u.rows, u.cols, i);
+            }
+            countOut(c);
+            co_await out(u.dest).send(std::move(c));
+        } else {
+            sim::Chunk c = co_await in(u.src).recv();
+            countIn(c);
+            mem::DramRequest req{mem::Dir::Write, c.bytes,
+                                 blockBursts(c.rows, c.cols, u.pitch,
+                                             layout_)};
+            co_await chan_.access(req);
+            if (c.hasData())
+                host_.writeBlock(addr, u.pitch, c.rows, c.cols, *c.data);
+        }
+    }
+}
+
+// --------------------------------------------------------------- LPDDR --
+
+LpddrFu::LpddrFu(sim::Engine &eng, FuId id, mem::DramChannel &chan,
+                 mem::HostMemory &host, mem::LayoutKind layout)
+    : Fu(eng, id), chan_(chan), host_(host), layout_(layout)
+{
+}
+
+sim::Task
+LpddrFu::runKernel(const isa::Uop &uop)
+{
+    const auto &u = std::get<isa::LpddrUop>(uop);
+    for (std::uint32_t i = 0; i < u.stride_count; ++i) {
+        Addr addr = u.addr + std::uint64_t(i) * u.stride_offset;
+        mem::DramRequest req{mem::Dir::Read,
+                             Bytes(u.rows) * u.cols * sizeof(float),
+                             blockBursts(u.rows, u.cols, u.pitch,
+                                         layout_)};
+        co_await chan_.access(req);
+        sim::Chunk c;
+        if (host_.functional()) {
+            c = sim::makeDataChunk(u.rows, u.cols,
+                                   host_.readBlock(addr, u.pitch, u.rows,
+                                                   u.cols),
+                                   i);
+        } else {
+            c = sim::makeChunk(u.rows, u.cols, i);
+        }
+        countOut(c);
+        co_await out(u.dest).send(std::move(c));
+    }
+}
+
+} // namespace rsn::fu

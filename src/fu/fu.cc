@@ -1,0 +1,107 @@
+#include "fu/fu.hh"
+
+#include "common/log.hh"
+
+namespace rsn::fu {
+
+Fu::Fu(sim::Engine &eng, FuId id, std::size_t uop_depth)
+    : eng_(eng), id_(id), name_(id.toString()),
+      uop_q_(eng, uop_depth, name_ + ".uopq")
+{
+}
+
+void
+Fu::start()
+{
+    rsn_assert(!started_, "FU started twice");
+    started_ = true;
+    loop_ = mainLoop();
+}
+
+void
+Fu::addInput(FuId from, sim::Stream *s)
+{
+    rsn_assert(!hasInput(from), "duplicate input port");
+    inputs_.emplace_back(from, s);
+}
+
+void
+Fu::addOutput(FuId to, sim::Stream *s)
+{
+    rsn_assert(!hasOutput(to), "duplicate output port");
+    outputs_.emplace_back(to, s);
+}
+
+sim::Stream &
+Fu::in(FuId from)
+{
+    for (auto &[id, s] : inputs_)
+        if (id == from)
+            return *s;
+    rsn_panic("%s has no input port from %s", name_.c_str(),
+              from.toString().c_str());
+}
+
+sim::Stream &
+Fu::out(FuId to)
+{
+    for (auto &[id, s] : outputs_)
+        if (id == to)
+            return *s;
+    rsn_panic("%s has no output port to %s", name_.c_str(),
+              to.toString().c_str());
+}
+
+bool
+Fu::hasInput(FuId from) const
+{
+    for (auto &[id, s] : inputs_)
+        if (id == from)
+            return true;
+    return false;
+}
+
+bool
+Fu::hasOutput(FuId to) const
+{
+    for (auto &[id, s] : outputs_)
+        if (id == to)
+            return true;
+    return false;
+}
+
+std::string
+Fu::stateString() const
+{
+    if (halted_)
+        return "halted";
+    if (!in_kernel_)
+        return "stalled on uOP queue";
+    std::string s = "in kernel";
+    for (const auto &[id, st] : inputs_)
+        if (st->hasBlockedReceiver())
+            s += ", blocked recv from " + id.toString();
+    for (const auto &[id, st] : outputs_)
+        if (st->hasBlockedSender())
+            s += ", blocked send to " + id.toString();
+    return s;
+}
+
+sim::Task
+Fu::mainLoop()
+{
+    while (true) {
+        isa::Uop u = co_await uop_q_.recv();
+        if (std::holds_alternative<isa::HaltUop>(u))
+            break;
+        in_kernel_ = true;
+        Tick t0 = eng_.now();
+        co_await runKernel(u);
+        stats_.busy_ticks += eng_.now() - t0;
+        ++stats_.uops;
+        in_kernel_ = false;
+    }
+    halted_ = true;
+}
+
+} // namespace rsn::fu

@@ -1,0 +1,302 @@
+#include "fu/mem_fus.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+#include "fu/nonlinear.hh"
+
+namespace rsn::fu {
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+sliceRows(std::uint32_t total, std::uint32_t slices)
+{
+    rsn_assert(slices > 0 && total > 0, "bad row slicing");
+    // Fewer rows than requested slices: fall back to one row per slice.
+    // Codegen applies the same clamp, so producer and consumer agree on
+    // the piece count.
+    slices = std::min(slices, total);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+    std::uint32_t base = total / slices;
+    std::uint32_t rem = total % slices;
+    std::uint32_t off = 0;
+    for (std::uint32_t i = 0; i < slices; ++i) {
+        std::uint32_t ext = base + (i < rem ? 1 : 0);
+        out.emplace_back(off, ext);
+        off += ext;
+    }
+    return out;
+}
+
+namespace {
+
+/** Copy a row-slice out of a tile buffer (functional runs only). */
+sim::Chunk
+sliceChunk(const TileBuffer &buf, std::uint32_t row_off,
+           std::uint32_t rows, std::uint32_t tag)
+{
+    if (!buf.hasData())
+        return sim::makeChunk(rows, buf.cols, tag);
+    std::vector<float> v(std::size_t(rows) * buf.cols);
+    std::copy_n(buf.data.begin() + std::size_t(row_off) * buf.cols,
+                v.size(), v.begin());
+    return sim::makeDataChunk(rows, buf.cols, std::move(v), tag);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- MemA --
+
+MemAFu::MemAFu(sim::Engine &eng, FuId id, FuId mesh_dst)
+    : Fu(eng, id), mesh_dst_(mesh_dst)
+{
+}
+
+sim::Task
+MemAFu::loadPart(const isa::MemAUop &u, TileBuffer &buf)
+{
+    sim::Chunk c = co_await in(u.src).recv();
+    countIn(c);
+    buf.rows = c.rows;
+    buf.cols = c.cols;
+    if (c.hasData())
+        buf.data = *c.data;
+    else
+        buf.data.clear();
+}
+
+sim::Task
+MemAFu::sendPart(const isa::MemAUop &u, TileBuffer &buf)
+{
+    rsn_assert(buf.rows > 0, "%s sending before any load", name().c_str());
+    sim::Stream &o = out(mesh_dst_);
+    auto slices = sliceRows(buf.rows, u.slices);
+    for (std::uint32_t i = 0; i < slices.size(); ++i) {
+        sim::Chunk c = sliceChunk(buf, slices[i].first, slices[i].second,
+                                  i);
+        countOut(c);
+        co_await o.send(std::move(c));
+    }
+}
+
+sim::Task
+MemAFu::runKernel(const isa::Uop &uop)
+{
+    const auto &u = std::get<isa::MemAUop>(uop);
+    TileBuffer &recv_buf = recv_to_ping_ ? ping_ : pong_;
+    TileBuffer &send_buf = recv_to_ping_ ? pong_ : ping_;
+    if (u.load)
+        recv_to_ping_ = !recv_to_ping_;
+
+    // Load and send run in parallel when both are enabled (Fig. 7b).
+    if (u.load && u.send) {
+        sim::Task ld = loadPart(u, recv_buf);
+        sim::Task snd = sendPart(u, send_buf);
+        co_await ld;
+        co_await snd;
+    } else if (u.load) {
+        co_await loadPart(u, recv_buf);
+    } else if (u.send) {
+        co_await sendPart(u, send_buf);
+    }
+}
+
+// ---------------------------------------------------------------- MemB --
+
+MemBFu::MemBFu(sim::Engine &eng, FuId id, FuId mesh_dst)
+    : Fu(eng, id), mesh_dst_(mesh_dst)
+{
+}
+
+sim::Task
+MemBFu::loadPart(const isa::MemBUop &u, TileBuffer &buf)
+{
+    sim::Chunk c = co_await in(u.src).recv();
+    countIn(c);
+    if (u.transpose) {
+        buf.rows = c.cols;
+        buf.cols = c.rows;
+        if (c.hasData()) {
+            buf.data.assign(c.elems(), 0.f);
+            for (std::uint32_t i = 0; i < c.rows; ++i)
+                for (std::uint32_t j = 0; j < c.cols; ++j)
+                    buf.data[std::size_t(j) * c.rows + i] = c.at(i, j);
+        } else {
+            buf.data.clear();
+        }
+    } else {
+        buf.rows = c.rows;
+        buf.cols = c.cols;
+        if (c.hasData())
+            buf.data = *c.data;
+        else
+            buf.data.clear();
+    }
+}
+
+sim::Task
+MemBFu::sendPart(const isa::MemBUop &u, TileBuffer &buf)
+{
+    (void)u;
+    rsn_assert(buf.rows > 0, "%s sending before any load", name().c_str());
+    sim::Chunk c = sliceChunk(buf, 0, buf.rows, 0);
+    countOut(c);
+    co_await out(mesh_dst_).send(std::move(c));
+}
+
+sim::Task
+MemBFu::runKernel(const isa::Uop &uop)
+{
+    const auto &u = std::get<isa::MemBUop>(uop);
+    TileBuffer &recv_buf = recv_to_ping_ ? ping_ : pong_;
+    TileBuffer &send_buf = recv_to_ping_ ? pong_ : ping_;
+    if (u.load)
+        recv_to_ping_ = !recv_to_ping_;
+
+    if (u.load && u.send) {
+        sim::Task ld = loadPart(u, recv_buf);
+        sim::Task snd = sendPart(u, send_buf);
+        co_await ld;
+        co_await snd;
+    } else if (u.load) {
+        co_await loadPart(u, recv_buf);
+    } else if (u.send) {
+        co_await sendPart(u, send_buf);
+    }
+}
+
+// ---------------------------------------------------------------- MemC --
+
+MemCFu::MemCFu(sim::Engine &eng, FuId id, FuId mme_src, FuId ddr,
+               double flops_per_tick)
+    : Fu(eng, id), mme_src_(mme_src), ddr_(ddr),
+      flops_per_tick_(flops_per_tick)
+{
+    rsn_assert(flops_per_tick > 0, "bad MemC rate");
+}
+
+sim::Task
+MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
+{
+    // Assemble the tile from the partner MME.
+    buf.rows = 0;
+    buf.cols = 0;
+    buf.data.clear();
+    std::uint32_t row_fill = 0;
+    for (std::uint32_t i = 0; i < u.recv_chunks; ++i) {
+        sim::Chunk c = co_await in(mme_src_).recv();
+        countIn(c);
+        if (i == 0) {
+            buf.cols = c.cols;
+            buf.rows = c.rows * u.recv_chunks;
+            if (c.hasData())
+                buf.data.assign(std::size_t(buf.rows) * buf.cols, 0.f);
+        }
+        if (c.hasData() && !buf.data.empty()) {
+            std::copy_n(c.data->begin(), c.elems(),
+                        buf.data.begin() +
+                            std::size_t(row_fill) * buf.cols);
+        }
+        row_fill += c.rows;
+    }
+    buf.rows = row_fill;
+    if (!buf.data.empty())
+        buf.data.resize(std::size_t(buf.rows) * buf.cols);
+
+    double flops = 0;
+    const double elems = double(buf.rows) * buf.cols;
+
+    if (u.add_residual) {
+        sim::Chunk res = co_await in(ddr_).recv();
+        countIn(res);
+        if (res.hasData() && !buf.data.empty())
+            addInplace(buf.data, *res.data);
+        flops += elems * kResidualFlopsPerElem;
+    }
+    std::vector<float> gamma, beta;
+    if (u.scale_shift) {
+        // Gamma/beta arrive as a 2 x cols block from the LPDDR FU.
+        sim::Chunk p = co_await in(FuId{FuType::Lpddr, 0}).recv();
+        countIn(p);
+        if (p.hasData()) {
+            gamma.assign(p.data->begin(), p.data->begin() + p.cols);
+            beta.assign(p.data->begin() + p.cols,
+                        p.data->begin() + 2 * p.cols);
+        }
+        flops += elems * kScaleShiftFlopsPerElem;
+    }
+
+    if (u.softmax) {
+        if (!buf.data.empty())
+            softmaxRows(buf.data, buf.rows, buf.cols);
+        flops += elems * kSoftmaxFlopsPerElem;
+    }
+    if (u.gelu) {
+        if (!buf.data.empty())
+            geluInplace(buf.data);
+        flops += elems * kGeluFlopsPerElem;
+    }
+    if (u.layernorm) {
+        if (!buf.data.empty())
+            layernormRows(buf.data, buf.rows, buf.cols);
+        flops += elems * kLayernormFlopsPerElem;
+    }
+    if (u.scale_shift && !buf.data.empty() && !gamma.empty())
+        scaleShiftRows(buf.data, buf.rows, buf.cols, gamma, beta);
+
+    if (flops > 0) {
+        countFlops(static_cast<std::uint64_t>(flops));
+        co_await eng_.delay(
+            static_cast<Tick>(std::ceil(flops / flops_per_tick_)));
+    }
+}
+
+sim::Task
+MemCFu::sendPart(const isa::MemCUop &u, TileBuffer &buf)
+{
+    rsn_assert(buf.rows > 0, "%s sending before any recv", name().c_str());
+    if (u.store) {
+        sim::Stream &o = out(ddr_);
+        auto pieces = sliceRows(buf.rows, u.send_chunks);
+        for (std::uint32_t i = 0; i < pieces.size(); ++i) {
+            sim::Chunk c = sliceChunk(buf, pieces[i].first,
+                                      pieces[i].second, i);
+            countOut(c);
+            co_await o.send(std::move(c));
+        }
+    }
+    if (u.send_mme) {
+        sim::Stream &o = out(u.send_dest);
+        auto pieces = sliceRows(buf.rows, u.send_chunks);
+        for (std::uint32_t i = 0; i < pieces.size(); ++i) {
+            sim::Chunk c = sliceChunk(buf, pieces[i].first,
+                                      pieces[i].second, i);
+            countOut(c);
+            co_await o.send(std::move(c));
+        }
+    }
+}
+
+sim::Task
+MemCFu::runKernel(const isa::Uop &uop)
+{
+    const auto &u = std::get<isa::MemCUop>(uop);
+    TileBuffer &recv_buf = recv_to_ping_ ? ping_ : pong_;
+    TileBuffer &send_buf = recv_to_ping_ ? pong_ : ping_;
+    if (u.recv)
+        recv_to_ping_ = !recv_to_ping_;
+
+    // RCEV (plus its fused operator) overlaps SEND of the previous tile
+    // (paper Fig. 11).
+    if (u.recv && (u.store || u.send_mme)) {
+        sim::Task rc = recvPart(u, recv_buf);
+        sim::Task snd = sendPart(u, send_buf);
+        co_await rc;
+        co_await snd;
+    } else if (u.recv) {
+        co_await recvPart(u, recv_buf);
+    } else if (u.store || u.send_mme) {
+        co_await sendPart(u, send_buf);
+    }
+}
+
+} // namespace rsn::fu

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Scratchpad FUs: MemA (LHS), MemB (RHS), MemC (output).
+ *
+ * All three are ping-pong buffered so a kernel can load one buffer while
+ * sending the other (paper Fig. 7b / Fig. 11). MemB additionally supports
+ * input transposition (attention K^T) and bias forwarding; MemC hosts the
+ * fused non-MM operators (Softmax, GELU, LayerNorm, scale & shift,
+ * residual add) and can re-inject results into the network as the next
+ * layer's operand (dynamic pipeline chaining).
+ */
+
+#ifndef RSN_FU_MEM_FUS_HH
+#define RSN_FU_MEM_FUS_HH
+
+#include <vector>
+
+#include "fu/fu.hh"
+
+namespace rsn::fu {
+
+/** One side of a ping-pong buffer pair. */
+struct TileBuffer {
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    std::vector<float> data;  ///< Empty in timing-only runs.
+
+    bool hasData() const { return !data.empty(); }
+};
+
+/** LHS scratchpad. Sends row-slices of the buffered tile toward MeshA. */
+class MemAFu : public Fu
+{
+  public:
+    MemAFu(sim::Engine &eng, FuId id, FuId mesh_dst);
+
+  protected:
+    sim::Task runKernel(const isa::Uop &uop) override;
+
+  private:
+    sim::Task loadPart(const isa::MemAUop &u, TileBuffer &buf);
+    sim::Task sendPart(const isa::MemAUop &u, TileBuffer &buf);
+
+    FuId mesh_dst_;
+    TileBuffer ping_, pong_;
+    bool recv_to_ping_ = true;
+};
+
+/** RHS scratchpad. Broadcasts the buffered tile toward MeshB. */
+class MemBFu : public Fu
+{
+  public:
+    MemBFu(sim::Engine &eng, FuId id, FuId mesh_dst);
+
+  protected:
+    sim::Task runKernel(const isa::Uop &uop) override;
+
+  private:
+    sim::Task loadPart(const isa::MemBUop &u, TileBuffer &buf);
+    sim::Task sendPart(const isa::MemBUop &u, TileBuffer &buf);
+
+    FuId mesh_dst_;
+    TileBuffer ping_, pong_;
+    bool recv_to_ping_ = true;
+};
+
+/** Output scratchpad with fused non-MM operators. */
+class MemCFu : public Fu
+{
+  public:
+    /**
+     * @param mme_src the partner MME feeding this MemC
+     * @param ddr the DDR FU this MemC stores through
+     * @param flops_per_tick non-MM processing rate (Fig. 16: 0.072
+     *        TFLOPS at 260 MHz = ~277 FLOP/tick)
+     */
+    MemCFu(sim::Engine &eng, FuId id, FuId mme_src, FuId ddr,
+           double flops_per_tick);
+
+  protected:
+    sim::Task runKernel(const isa::Uop &uop) override;
+
+  private:
+    sim::Task recvPart(const isa::MemCUop &u, TileBuffer &buf);
+    sim::Task sendPart(const isa::MemCUop &u, TileBuffer &buf);
+
+    FuId mme_src_;
+    FuId ddr_;
+    double flops_per_tick_;
+    TileBuffer ping_, pong_;
+    bool recv_to_ping_ = true;
+};
+
+/** Split @p total rows into @p slices near-equal extents (first gets
+ *  the remainder); returns (offset, extent) pairs. */
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+sliceRows(std::uint32_t total, std::uint32_t slices);
+
+} // namespace rsn::fu
+
+#endif // RSN_FU_MEM_FUS_HH

@@ -1,0 +1,115 @@
+#include "fu/mme.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace rsn::fu {
+
+MmeFu::MmeFu(sim::Engine &eng, FuId id, AieModel model, FuId lhs_src,
+             FuId rhs_src, FuId out_dst)
+    : Fu(eng, id), model_(model), lhs_src_(lhs_src), rhs_src_(rhs_src),
+      out_dst_(out_dst)
+{
+}
+
+sim::Task
+MmeFu::runKernel(const isa::Uop &uop)
+{
+    const auto &u = std::get<isa::MmeUop>(uop);
+    sim::Stream &lhs_in = in(lhs_src_);
+    sim::Stream &rhs_in = in(rhs_src_);
+    sim::Stream &out_s = out(out_dst_);
+
+    for (std::uint32_t rep = 0; rep < u.reps; ++rep) {
+        // Bias (if any) arrives ahead of the RHS tiles on the RHS stream.
+        sim::Chunk bias;
+        if (u.add_bias) {
+            bias = co_await rhs_in.recv();
+            countIn(bias);
+        }
+
+        std::uint32_t out_rows = 0, out_cols = 0;
+        std::vector<float> acc;
+        for (std::uint32_t ks = 0; ks < u.k_steps; ++ks) {
+            sim::Chunk lhs = co_await lhs_in.recv();
+            sim::Chunk rhs = co_await rhs_in.recv();
+            countIn(lhs);
+            countIn(rhs);
+            rsn_assert(lhs.cols == rhs.rows,
+                       "MME chunk K mismatch: %u vs %u", lhs.cols,
+                       rhs.rows);
+            out_rows = lhs.rows;
+            out_cols = rhs.cols;
+
+            co_await eng_.delay(
+                model_.chunkTicks(lhs.rows, lhs.cols, rhs.cols));
+            countFlops(2ull * lhs.rows * lhs.cols * rhs.cols);
+
+            if (getenv("RSN_DEBUG_MME")) {
+                std::printf("[%s] rep=%u ks=%u lhs=%ux%u(%s %.4f %.4f) "
+                            "rhs=%ux%u(%s %.4f %.4f)\n",
+                            name().c_str(), rep, ks, lhs.rows, lhs.cols,
+                            lhs.hasData() ? "d" : "-",
+                            lhs.hasData() ? lhs.at(0, 0) : 0.f,
+                            lhs.hasData() ? lhs.at(1 % lhs.rows, 0) : 0.f,
+                            rhs.rows, rhs.cols, rhs.hasData() ? "d" : "-",
+                            rhs.hasData() ? rhs.at(0, 0) : 0.f,
+                            rhs.hasData() ? rhs.at(1 % rhs.rows, 0) : 0.f);
+            }
+            if (lhs.hasData() && rhs.hasData()) {
+                if (acc.empty())
+                    acc.assign(std::size_t(out_rows) * out_cols, 0.f);
+                // Accumulating tile product (output-stationary).
+                for (std::uint32_t i = 0; i < lhs.rows; ++i) {
+                    for (std::uint32_t k = 0; k < lhs.cols; ++k) {
+                        float av = lhs.at(i, k);
+                        if (av == 0.f)
+                            continue;
+                        float *dst =
+                            acc.data() + std::size_t(i) * out_cols;
+                        for (std::uint32_t j = 0; j < rhs.cols; ++j)
+                            dst[j] += av * rhs.at(k, j);
+                    }
+                }
+            }
+
+            if (!u.accum_k) {
+                // Emit a partial product per k-step instead of reducing.
+                sim::Chunk partial;
+                if (!acc.empty()) {
+                    partial = sim::makeDataChunk(out_rows, out_cols,
+                                                 std::move(acc), ks);
+                    acc.clear();
+                } else {
+                    partial = sim::makeChunk(out_rows, out_cols, ks);
+                }
+                countOut(partial);
+                co_await out_s.send(std::move(partial));
+            }
+        }
+
+        if (u.accum_k) {
+            sim::Chunk result;
+            if (!acc.empty()) {
+                if (bias.hasData()) {
+                    rsn_assert(bias.cols == out_cols, "bias width");
+                    for (std::uint32_t i = 0; i < out_rows; ++i)
+                        for (std::uint32_t j = 0; j < out_cols; ++j)
+                            acc[std::size_t(i) * out_cols + j] +=
+                                bias.at(0, j);
+                    countFlops(std::uint64_t(out_rows) * out_cols);
+                }
+                result = sim::makeDataChunk(out_rows, out_cols,
+                                            std::move(acc), rep);
+            } else {
+                result = sim::makeChunk(out_rows, out_cols, rep);
+            }
+            countOut(result);
+            co_await out_s.send(std::move(result));
+        }
+    }
+}
+
+} // namespace rsn::fu

@@ -1,0 +1,82 @@
+#include "fu/nonlinear.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace rsn::fu {
+
+void
+softmaxRows(std::vector<float> &tile, std::uint32_t rows,
+            std::uint32_t cols)
+{
+    rsn_assert(tile.size() == std::size_t(rows) * cols, "tile shape");
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        float *row = tile.data() + std::size_t(r) * cols;
+        float mx = row[0];
+        for (std::uint32_t c = 1; c < cols; ++c)
+            mx = std::max(mx, row[c]);
+        float sum = 0.f;
+        for (std::uint32_t c = 0; c < cols; ++c) {
+            row[c] = std::exp(row[c] - mx);
+            sum += row[c];
+        }
+        float inv = 1.0f / sum;
+        for (std::uint32_t c = 0; c < cols; ++c)
+            row[c] *= inv;
+    }
+}
+
+void
+geluInplace(std::vector<float> &tile)
+{
+    constexpr float inv_sqrt2 = 0.70710678118654752f;
+    for (float &x : tile)
+        x = 0.5f * x * (1.0f + std::erf(x * inv_sqrt2));
+}
+
+void
+layernormRows(std::vector<float> &tile, std::uint32_t rows,
+              std::uint32_t cols)
+{
+    rsn_assert(tile.size() == std::size_t(rows) * cols, "tile shape");
+    constexpr float eps = 1e-5f;
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        float *row = tile.data() + std::size_t(r) * cols;
+        // Single-pass mean/variance (streaming-friendly form).
+        double sum = 0, sumsq = 0;
+        for (std::uint32_t c = 0; c < cols; ++c) {
+            sum += row[c];
+            sumsq += double(row[c]) * row[c];
+        }
+        double mean = sum / cols;
+        double var = sumsq / cols - mean * mean;
+        float inv_std = 1.0f / std::sqrt(float(var) + eps);
+        for (std::uint32_t c = 0; c < cols; ++c)
+            row[c] = (row[c] - float(mean)) * inv_std;
+    }
+}
+
+void
+scaleShiftRows(std::vector<float> &tile, std::uint32_t rows,
+               std::uint32_t cols, const std::vector<float> &gamma,
+               const std::vector<float> &beta)
+{
+    rsn_assert(gamma.size() >= cols && beta.size() >= cols,
+               "scale/shift params too small");
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        float *row = tile.data() + std::size_t(r) * cols;
+        for (std::uint32_t c = 0; c < cols; ++c)
+            row[c] = row[c] * gamma[c] + beta[c];
+    }
+}
+
+void
+addInplace(std::vector<float> &tile, const std::vector<float> &other)
+{
+    rsn_assert(tile.size() == other.size(), "residual shape mismatch");
+    for (std::size_t i = 0; i < tile.size(); ++i)
+        tile[i] += other[i];
+}
+
+} // namespace rsn::fu

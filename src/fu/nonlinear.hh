@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Non-MM operators executed inside MemC FUs (paper Table 2): Softmax,
+ * GELU, LayerNorm (mean/variance/normalization), scale & shift, and
+ * residual add. These are the streaming implementations used by the
+ * datapath; tests validate them against the independent naive versions in
+ * src/ref.
+ */
+
+#ifndef RSN_FU_NONLINEAR_HH
+#define RSN_FU_NONLINEAR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace rsn::fu {
+
+/** Numerically-stable row-wise softmax over a rows x cols tile. */
+void softmaxRows(std::vector<float> &tile, std::uint32_t rows,
+                 std::uint32_t cols);
+
+/** Exact (erf-based) GELU applied element-wise. */
+void geluInplace(std::vector<float> &tile);
+
+/**
+ * Row-wise LayerNorm: normalize each row to zero mean / unit variance
+ * (eps = 1e-5). Scale & shift is applied separately so the ISA flags
+ * compose the way Table 2 lists them.
+ */
+void layernormRows(std::vector<float> &tile, std::uint32_t rows,
+                   std::uint32_t cols);
+
+/** Apply gamma/beta per column: tile[r][c] = tile[r][c]*gamma[c]+beta[c]. */
+void scaleShiftRows(std::vector<float> &tile, std::uint32_t rows,
+                    std::uint32_t cols, const std::vector<float> &gamma,
+                    const std::vector<float> &beta);
+
+/** tile += other (element-wise residual add). */
+void addInplace(std::vector<float> &tile, const std::vector<float> &other);
+
+/** @{ FLOP-per-element costs used for MemC timing and the power model. */
+inline constexpr double kSoftmaxFlopsPerElem = 5.0;
+inline constexpr double kGeluFlopsPerElem = 8.0;
+inline constexpr double kLayernormFlopsPerElem = 8.0;
+inline constexpr double kScaleShiftFlopsPerElem = 2.0;
+inline constexpr double kResidualFlopsPerElem = 1.0;
+/** @} */
+
+} // namespace rsn::fu
+
+#endif // RSN_FU_NONLINEAR_HH

@@ -1,0 +1,128 @@
+#include "isa/decoder.hh"
+
+#include "common/log.hh"
+
+namespace rsn::isa {
+
+DecoderUnit::DecoderUnit(sim::Engine &eng, Config cfg)
+    : eng_(eng), cfg_(cfg)
+{
+    rsn_assert(cfg.fetch_fifo_depth > 0, "bad fetch FIFO depth");
+}
+
+void
+DecoderUnit::attach(fu::Fu *f)
+{
+    rsn_assert(lookup(f->id()) == nullptr, "duplicate FU %s",
+               f->name().c_str());
+    fus_.push_back(f);
+}
+
+fu::Fu *
+DecoderUnit::lookup(FuId id) const
+{
+    for (auto *f : fus_)
+        if (f->id() == id)
+            return f;
+    return nullptr;
+}
+
+void
+DecoderUnit::start(const RsnProgram &prog)
+{
+    rsn_assert(prog_ == nullptr, "decoder started twice");
+    prog_ = &prog;
+    for (int t = 0; t < kNumFuTypes; ++t) {
+        pkt_ch_[t] = std::make_unique<PktChannel>(
+            eng_, cfg_.fetch_fifo_depth,
+            std::string(fuTypeName(static_cast<FuType>(t))) + ".pktq");
+        type_tasks_[t] = typeLoop(static_cast<FuType>(t));
+    }
+    fetch_task_ = fetchLoop();
+}
+
+sim::Task
+DecoderUnit::fetchLoop()
+{
+    for (const RsnPacket &p : prog_->packets()) {
+        co_await eng_.delay(cfg_.ticks_per_packet);
+        ++packets_fetched_;
+        bytes_fetched_ += p.wireBytes();
+        co_await pkt_ch_[static_cast<int>(p.opcode)]->send(&p);
+    }
+    // End-of-program sentinels.
+    for (int t = 0; t < kNumFuTypes; ++t)
+        co_await pkt_ch_[t]->send(nullptr);
+    fetch_done_ = true;
+}
+
+sim::Task
+DecoderUnit::typeLoop(FuType t)
+{
+    PktChannel &ch = *pkt_ch_[static_cast<int>(t)];
+    while (true) {
+        const RsnPacket *p = co_await ch.recv();
+        if (!p)
+            break;
+        // Replay the mOP window `reuse` times (packet reuse, Fig. 8).
+        for (std::uint32_t pass = 0; pass < p->reuse; ++pass) {
+            for (const Uop &mop : p->mops) {
+                for (const Uop &u : expandMop(mop)) {
+                    for (std::uint32_t i = 0; i < kMaxMaskBits; ++i) {
+                        if (!(p->mask & (1u << i)))
+                            continue;
+                        fu::Fu *f = lookup(
+                            FuId{t, static_cast<std::uint8_t>(i)});
+                        rsn_assert(f, "packet targets missing %s%u",
+                                   fuTypeName(t), i);
+                        co_await eng_.delay(cfg_.ticks_per_uop);
+                        co_await f->uopQueue().send(u);
+                        ++uops_issued_;
+                    }
+                }
+            }
+        }
+        if (p->last) {
+            for (std::uint32_t i = 0; i < kMaxMaskBits; ++i) {
+                if (!(p->mask & (1u << i)))
+                    continue;
+                fu::Fu *f =
+                    lookup(FuId{t, static_cast<std::uint8_t>(i)});
+                rsn_assert(f, "halt targets missing %s%u", fuTypeName(t),
+                           i);
+                co_await f->uopQueue().send(Uop{HaltUop{}});
+                ++uops_issued_;
+            }
+        }
+    }
+    type_done_[static_cast<int>(t)] = true;
+}
+
+bool
+DecoderUnit::done() const
+{
+    if (!fetch_done_)
+        return false;
+    for (bool d : type_done_)
+        if (!d)
+            return false;
+    return true;
+}
+
+std::string
+DecoderUnit::stateString() const
+{
+    std::string s;
+    if (!fetch_done_)
+        s += "fetch unit stalled; ";
+    for (int t = 0; t < kNumFuTypes; ++t) {
+        if (!type_done_[t] && pkt_ch_[t]) {
+            s += std::string(fuTypeName(static_cast<FuType>(t))) +
+                 " decoder pending (fifo=" +
+                 std::to_string(pkt_ch_[t]->size()) + "); ";
+        }
+    }
+    return s.empty() ? "decoder drained" : s;
+}
+
+} // namespace rsn::isa

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * RSN instruction packets and programs (paper Sec. 3.3, Fig. 8).
+ *
+ * A program is a single sequence of UDP-like instruction packets. Each
+ * packet has a 32-bit header — opcode (FU type), mask (targeted FU
+ * instances), last (FU exit), window size (mOPs in this packet), reuse
+ * (replay count) — followed by a payload of mOPs. Second-level decoders
+ * replay the mOP window @c reuse times; third-level decoders translate
+ * mOPs into uOPs (e.g. a strided DDR mOP expands into stride_count
+ * single-block uOPs).
+ *
+ * Instruction compression (Fig. 9) = assembled packet bytes vs. the bytes
+ * of the fully-expanded uOP streams.
+ */
+
+#ifndef RSN_ISA_PACKET_HH
+#define RSN_ISA_PACKET_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/uop.hh"
+
+namespace rsn::isa {
+
+/** Packet header field limits imposed by the 32-bit encoding. */
+inline constexpr std::uint32_t kMaxWindow = 127;   ///< 7 bits.
+inline constexpr std::uint32_t kMaxReuse = 4095;   ///< 12 bits.
+inline constexpr std::uint32_t kMaxMaskBits = 8;   ///< 8 FU instances.
+
+/** One RSN instruction packet. */
+struct RsnPacket {
+    FuType opcode = FuType::NumTypes;
+    std::uint8_t mask = 0;      ///< Bit i selects FU instance i.
+    bool last = false;          ///< Signals FU exit after this packet.
+    std::uint16_t reuse = 1;    ///< Times the mOP window replays.
+    std::vector<Uop> mops;      ///< The mOP window (size = "window size").
+
+    /** Encoded 32-bit header: opcode:4 | mask:8 | last:1 | win:7 | reuse:12 */
+    std::uint32_t headerWord() const;
+
+    /** Decode header fields from a 32-bit word (payload not touched). */
+    static RsnPacket fromHeaderWord(std::uint32_t w);
+
+    /** Assembled size: 4-byte header + serialized mOPs. */
+    Bytes wireBytes() const;
+
+    /** Check structural validity (field ranges, uOP/opcode agreement). */
+    bool valid(std::string *why = nullptr) const;
+};
+
+/**
+ * Expand one mOP into its uOP sequence (third-level decoding). Strided
+ * DDR/LPDDR mOPs unroll into per-block uOPs; everything else passes
+ * through unchanged.
+ */
+std::vector<Uop> expandMop(const Uop &mop);
+
+/** A full RSN program: the packet sequence plus measurement helpers. */
+class RsnProgram
+{
+  public:
+    void append(RsnPacket p);
+    const std::vector<RsnPacket> &packets() const { return packets_; }
+    std::size_t size() const { return packets_.size(); }
+    bool empty() const { return packets_.empty(); }
+
+    /** Append `last` packets halting every FU instance in @p counts. */
+    void appendHalts(const std::array<int, kNumFuTypes> &counts);
+
+    /** Validate every packet; fatal on the first invalid one. */
+    void validate() const;
+
+    /** Number of packets targeting @p t. */
+    std::uint64_t packetCount(FuType t) const;
+
+    /** Assembled instruction bytes targeting @p t (incl. headers). */
+    Bytes instructionBytes(FuType t) const;
+
+    /** Total assembled program bytes. */
+    Bytes totalBytes() const;
+
+    /**
+     * Bytes of the fully-expanded uOP streams for @p t: every reuse
+     * iteration, every masked FU instance, every expanded uOP.
+     */
+    Bytes expandedUopBytes(FuType t) const;
+
+    /** Expanded uOP count for one FU instance. */
+    std::uint64_t uopCountFor(FuId fu) const;
+
+  private:
+    std::vector<RsnPacket> packets_;
+};
+
+/** Serialize a program to bytes (assembler). */
+std::vector<std::uint8_t> assemble(const RsnProgram &prog);
+
+/** Parse bytes back into packets (disassembler). */
+RsnProgram disassemble(const std::vector<std::uint8_t> &bytes);
+
+} // namespace rsn::isa
+
+#endif // RSN_ISA_PACKET_HH

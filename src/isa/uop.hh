@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Micro-operation (uOP) control planes for every FU type.
+ *
+ * These transcribe paper Table 2 ("uOP Control Planes Managing FUs in
+ * RSN-XNN"). A uOP carries *control information only* — never data — so
+ * instructions stay off the critical path (Sec. 2.4). Each uOP launches a
+ * single kernel execution on its FU.
+ *
+ * Every uOP type reports its wire size (the bytes a third-level decoder
+ * consumes); Fig. 9's RSN-instruction-vs-uOP compression ratios are computed
+ * from these sizes.
+ */
+
+#ifndef RSN_ISA_UOP_HH
+#define RSN_ISA_UOP_HH
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rsn::isa {
+
+/**
+ * MME: "matrix size, tile size, add bias, add previous layer, calculate
+ * scale and shift, accumulate along k".
+ *
+ * One uOP directs the computation of @c reps output slabs; each slab
+ * accumulates @c k_steps pairs of (LHS, RHS) chunks. Sizes are the
+ * *per-chunk* dimensions seen by this MME (after mesh slicing).
+ */
+struct MmeUop {
+    std::uint16_t reps = 1;       ///< Output slabs to produce.
+    std::uint16_t k_steps = 1;    ///< Accumulation chunks per slab.
+    std::uint16_t tile_m = 0;     ///< Rows per LHS chunk / output slab.
+    std::uint16_t tile_k = 0;     ///< Depth per chunk pair.
+    std::uint16_t tile_n = 0;     ///< Cols per RHS chunk / output slab.
+    bool add_bias = false;        ///< Consume a bias chunk first, add it.
+    bool accum_k = true;          ///< Accumulate along k before emitting.
+
+    bool operator==(const MmeUop &) const = default;
+    static constexpr Bytes wireBytes() { return 11; }
+    std::string toString() const;
+};
+
+/**
+ * DDR: "addr, stride size, stride offset, stride count, load, destFU,
+ * store, srcFU". Moves feature maps between off-chip DDR and on-chip FUs.
+ *
+ * A load uOP reads @c stride_count blocks (advancing @c addr by
+ * @c stride_offset bytes each time) and streams each to @c dest. A store
+ * uOP receives @c stride_count chunks from @c src and writes them back.
+ */
+struct DdrUop {
+    Addr addr = 0;
+    std::uint32_t stride_offset = 0;  ///< Byte advance between blocks.
+    std::uint16_t stride_count = 1;   ///< Number of blocks.
+    bool load = false;
+    FuId dest = kNoFu;
+    bool store = false;
+    FuId src = kNoFu;
+    /** Block geometry (rows x cols FP32, row pitch in elements). */
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    std::uint32_t pitch = 0;
+
+    bool operator==(const DdrUop &) const = default;
+    static constexpr Bytes wireBytes() { return 25; }
+    std::string toString() const;
+};
+
+/** LPDDR: "addr, stride size, stride offset, stride count, destFU,
+ *  load bias". Loads read-only weights and bias. */
+struct LpddrUop {
+    Addr addr = 0;
+    std::uint32_t stride_offset = 0;
+    std::uint16_t stride_count = 1;
+    FuId dest = kNoFu;
+    bool load_bias = false;  ///< Block is a bias / LN-parameter vector.
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    std::uint32_t pitch = 0;
+
+    bool operator==(const LpddrUop &) const = default;
+    static constexpr Bytes wireBytes() { return 24; }
+    std::string toString() const;
+};
+
+/** One mesh route: move chunks from FU @c src to FU @c dst. */
+struct MeshRoute {
+    FuId src;
+    FuId dst;
+    bool operator==(const MeshRoute &) const = default;
+};
+
+/** How a mesh kernel interprets its route list. */
+enum class MeshMode : std::uint8_t {
+    Parallel,    ///< Independent routes forward concurrently.
+    Broadcast,   ///< One source replicated to every destination.
+    Distribute,  ///< Round-robin: chunk i goes to route (i % routes).
+};
+
+/**
+ * MeshA/B: "size, srcFUs, destFUs".
+ *
+ * Parallel mode serves pipelined mappings (distinct producer/consumer
+ * pairs); Broadcast serves shared operands (one RHS tile to every MME);
+ * Distribute deals consecutive chunks from one source across the MMEs
+ * (M-split of an LHS tile). @c repeats iterations flow per kernel.
+ */
+struct MeshUop {
+    std::uint32_t repeats = 1;
+    MeshMode mode = MeshMode::Parallel;
+    std::vector<MeshRoute> routes;
+
+    bool operator==(const MeshUop &) const = default;
+    Bytes wireBytes() const { return 6 + 2 * routes.size(); }
+    std::string toString() const;
+};
+
+/**
+ * MemA: "matrix size, tile size, srcFU, load data, send to MME".
+ *
+ * Holds one LHS tile in a ping-pong buffer pair. When both load and send
+ * are set, the two run in parallel on opposite buffers (Fig. 7b).
+ * Sending slices the buffered tile into @c slices row-slices, one per
+ * destination MME.
+ */
+struct MemAUop {
+    std::uint16_t rows = 0;
+    std::uint16_t cols = 0;
+    std::uint8_t slices = 1;
+    FuId src = kNoFu;       ///< Producer of loaded data (DDR).
+    bool load = false;
+    bool send = false;
+
+    bool operator==(const MemAUop &) const = default;
+    static constexpr Bytes wireBytes() { return 7; }
+    std::string toString() const;
+};
+
+/**
+ * MemB: "matrix size, tile size, load data, send to MME, transpose input,
+ * load bias". Holds one RHS tile; optionally transposes (attention K^T)
+ * and forwards a bias vector ahead of the tile.
+ */
+struct MemBUop {
+    std::uint16_t rows = 0;
+    std::uint16_t cols = 0;
+    FuId src = kNoFu;
+    bool load = false;
+    bool send = false;
+    bool transpose = false;
+    bool load_bias = false;  ///< Also receive + forward a bias chunk.
+
+    bool operator==(const MemBUop &) const = default;
+    static constexpr Bytes wireBytes() { return 6; }
+    std::string toString() const;
+};
+
+/**
+ * MemC: "matrix size from MME, matrix size to DDR, tile size from MME,
+ * tile size to DDR, receive from MME, send to MME, softmax, gelu,
+ * mean/variance/normalization". Plus residual add and LN scale&shift,
+ * which this implementation hosts in MemC (see DESIGN.md deviations).
+ *
+ * Ping-pong buffered: a receive kernel fills one buffer while a
+ * send/store kernel drains the other, enabling the paper's RCEV/SEND
+ * overlap around Softmax (Fig. 11).
+ */
+struct MemCUop {
+    std::uint16_t rows = 0;      ///< Buffered tile rows.
+    std::uint16_t cols = 0;      ///< Buffered tile cols.
+    std::uint16_t recv_chunks = 1;  ///< Chunks to receive from MME.
+    std::uint16_t send_chunks = 1;  ///< Chunks to emit when sending.
+    bool recv = false;           ///< Receive tile from the partner MME.
+    bool store = false;          ///< Emit tile toward the DDR FU.
+    bool send_mme = false;       ///< Emit tile toward a mesh (next MM).
+    FuId send_dest = kNoFu;      ///< MeshA or MeshB when send_mme.
+    bool softmax = false;
+    bool gelu = false;
+    bool layernorm = false;      ///< Mean/variance/normalize rows.
+    bool scale_shift = false;    ///< Apply gamma/beta (recv params first).
+    bool add_residual = false;   ///< Add a residual tile (recv it first).
+
+    bool operator==(const MemCUop &) const = default;
+    static constexpr Bytes wireBytes() { return 11; }
+    std::string toString() const;
+};
+
+/** Decoder-injected uOP that terminates an FU's kernel loop ("last"). */
+struct HaltUop {
+    bool operator==(const HaltUop &) const = default;
+    static constexpr Bytes wireBytes() { return 1; }
+    std::string toString() const { return "halt"; }
+};
+
+/** A uOP for any FU type. */
+using Uop = std::variant<MmeUop, DdrUop, LpddrUop, MeshUop, MemAUop,
+                         MemBUop, MemCUop, HaltUop>;
+
+/** Wire size of any uOP. */
+Bytes uopWireBytes(const Uop &u);
+
+/** Debug rendering of any uOP. */
+std::string uopToString(const Uop &u);
+
+/** FU type a uOP kind belongs to (Mesh uOPs fit both MeshA and MeshB). */
+bool uopMatchesFuType(const Uop &u, FuType t);
+
+} // namespace rsn::isa
+
+#endif // RSN_ISA_UOP_HH

@@ -1,0 +1,101 @@
+#include "lib/mapping.hh"
+
+#include <algorithm>
+
+namespace rsn::lib {
+
+const char *
+mappingName(MappingType t)
+{
+    switch (t) {
+      case MappingType::LayerByLayer: return "A layer-by-layer";
+      case MappingType::TaskByTask: return "B task-by-task";
+      case MappingType::TaskParallel: return "C task-parallel";
+      case MappingType::Pipeline: return "D pipeline";
+    }
+    return "?";
+}
+
+MappingEstimate
+estimateMapping(MappingType t, const AttentionWorkload &w,
+                const PlatformBudget &p)
+{
+    MappingEstimate e;
+    e.type = t;
+
+    const double S = w.seq, D = w.dhead, T = w.tasks;
+    const double fp = sizeof(float);
+    const double qkv_bytes = 3.0 * T * S * D * fp;   // Q, K, V in
+    const double ctx_bytes = T * S * D * fp;         // context out
+    const double scores_bytes = T * S * S * fp;      // intermediate
+    const double flops = 4.0 * T * S * D * S;        // MM1 + MM2
+
+    // Off-chip feature-map traffic per mapping type. A/B/C spill the
+    // score matrices and read them back; D keeps them on chip.
+    double traffic;
+    bool keeps_scores_onchip = t == MappingType::Pipeline;
+    if (keeps_scores_onchip)
+        traffic = qkv_bytes + ctx_bytes;
+    else
+        traffic = qkv_bytes + ctx_bytes + 2.0 * scores_bytes;
+
+    // Transfer granularity: A moves the fused-task tensors in large
+    // blocks; B/C move one small task at a time and pay per-task DRAM
+    // turnaround; D overlaps the per-task transfers across parallel
+    // heads.
+    double turnaround = 0;
+    if (t == MappingType::TaskByTask || t == MappingType::TaskParallel)
+        turnaround = T * p.per_task_overhead * 2;  // both MMs
+    else if (t == MappingType::Pipeline)
+        turnaround = 0;  // prolog/epilog overlap across heads
+
+    e.inf_flops_ms = (traffic / (p.bw_gbs * 1e9) + turnaround) * 1e3;
+
+    // AIE utilization: one small MM at a time cannot fill the array
+    // (K = 64 limits unrolling); spatial mappings reach ~96%.
+    bool spatial = t == MappingType::TaskParallel ||
+                   t == MappingType::Pipeline;
+    e.aie_util = spatial ? 0.96 : 0.64;
+
+    e.inf_bw_ms = flops / (p.peak_tflops * 1e12 * e.aie_util) * 1e3;
+    e.final_ms = std::max(e.inf_flops_ms, e.inf_bw_ms);
+    e.traffic_mb = traffic / 1e6;
+    return e;
+}
+
+MappingType
+bestMapping(const AttentionWorkload &w, const PlatformBudget &p)
+{
+    MappingType best = MappingType::LayerByLayer;
+    double best_ms = estimateMapping(best, w, p).final_ms;
+    for (MappingType t : {MappingType::TaskByTask,
+                          MappingType::TaskParallel,
+                          MappingType::Pipeline}) {
+        double ms = estimateMapping(t, w, p).final_ms;
+        if (ms < best_ms) {
+            best_ms = ms;
+            best = t;
+        }
+    }
+    return best;
+}
+
+bool
+linearIsComputeBound(std::uint64_t m, std::uint64_t k, std::uint64_t n,
+                     const PlatformBudget &p)
+{
+    double flops = 2.0 * m * k * n;
+    double bytes = (double(m) * k + double(k) * n + double(m) * n) *
+                   sizeof(float);
+    double compute_s = flops / (p.peak_tflops * 1e12);
+    double mem_s = bytes / (p.bw_gbs * 1e9);
+    return compute_s >= mem_s;
+}
+
+std::uint64_t
+pipelineIntermediateBytes(std::uint64_t m, std::uint64_t n)
+{
+    return m * n * sizeof(float);
+}
+
+} // namespace rsn::lib

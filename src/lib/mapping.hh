@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Inter-layer mapping types and the first-order latency estimator used
+ * during model segmentation (paper Fig. 3, Table 3, Sec. 4.2/4.3).
+ *
+ * Types: A layer-by-layer, B task-by-task, C task-parallel, D pipeline.
+ * The estimator applies the roofline formula per mapping type to the
+ * BERT attention pair (MM1 = Key x Query, MM2 = scores x Value) and is
+ * what the datapath-generation process uses to decide that attention
+ * segments pipeline (type D) while large feed-forward MMs run one at a
+ * time (type A with fused heads).
+ */
+
+#ifndef RSN_LIB_MAPPING_HH
+#define RSN_LIB_MAPPING_HH
+
+#include <cstdint>
+#include <string>
+
+namespace rsn::lib {
+
+enum class MappingType : std::uint8_t {
+    LayerByLayer,  ///< A: all FUs on one (fused) layer at a time.
+    TaskByTask,    ///< B: all FUs on one task's layers sequentially.
+    TaskParallel,  ///< C: independent tasks spatially in parallel.
+    Pipeline,      ///< D: dependent layers spatially pipelined.
+};
+
+const char *mappingName(MappingType t);
+
+/** Attention-pair workload (Table 3's MM1/MM2). */
+struct AttentionWorkload {
+    std::uint32_t tasks = 96;   ///< Independent heads (batch included).
+    std::uint32_t seq = 512;
+    std::uint32_t dhead = 64;
+};
+
+/** Platform budget for the estimate. */
+struct PlatformBudget {
+    double peak_tflops = 8.0;
+    double bw_gbs = 57.6;       ///< Combined DDR + LPDDR.
+    /** Per-task DRAM turnaround cost (s) modeling small transfers. */
+    double per_task_overhead = 80e-6;
+};
+
+/** Table 3 row. */
+struct MappingEstimate {
+    MappingType type;
+    double inf_flops_ms = 0;   ///< Latency with infinite compute.
+    double aie_util = 0;       ///< Fraction of AIE tiles kept busy.
+    double inf_bw_ms = 0;      ///< Latency with infinite bandwidth.
+    double final_ms = 0;       ///< max of the two.
+    double traffic_mb = 0;     ///< Off-chip feature-map traffic.
+};
+
+/** Estimate one mapping type for the attention pair. */
+MappingEstimate estimateMapping(MappingType t, const AttentionWorkload &w,
+                                const PlatformBudget &p);
+
+/** The mapping type with the lowest final latency. */
+MappingType bestMapping(const AttentionWorkload &w,
+                        const PlatformBudget &p);
+
+/**
+ * Segmentation decision for a linear layer (Sec. 4.2): memory-bound
+ * layers group into pipelines; compute-bound layers run one at a time.
+ * @return true when the layer is compute-bound under the budget.
+ */
+bool linearIsComputeBound(std::uint64_t m, std::uint64_t k,
+                          std::uint64_t n, const PlatformBudget &p);
+
+/** On-chip bytes needed to pipeline two layers with an m x n
+ *  intermediate; compared against capacity in segmentation. */
+std::uint64_t pipelineIntermediateBytes(std::uint64_t m, std::uint64_t n);
+
+} // namespace rsn::lib
+
+#endif // RSN_LIB_MAPPING_HH

@@ -1,0 +1,237 @@
+#include "lib/model.hh"
+
+#include "common/log.hh"
+
+namespace rsn::lib {
+
+std::uint64_t
+LinearLayer::flops() const
+{
+    std::uint64_t f = 2ull * m * k * n;
+    if (bias)
+        f += std::uint64_t(m) * n;
+    if (gelu)
+        f += 8ull * m * n;
+    if (layernorm)
+        f += 10ull * m * n;
+    if (residual)
+        f += std::uint64_t(m) * n;
+    return f;
+}
+
+std::uint64_t
+AttentionBlock::flops() const
+{
+    // MM1 + softmax + MM2 per head.
+    std::uint64_t mm = 2ull * seq * dhead * seq;
+    std::uint64_t sm = 5ull * seq * seq;
+    return heads * (2 * mm + sm);
+}
+
+std::uint64_t
+Model::totalFlops() const
+{
+    std::uint64_t f = 0;
+    for (const auto &s : segments)
+        std::visit([&](const auto &v) { f += v.flops(); }, s);
+    return f;
+}
+
+Bytes
+Model::minTrafficBytes() const
+{
+    Bytes b = Bytes(input_rows) * input_cols * sizeof(float);
+    for (const auto &s : segments) {
+        if (const auto *l = std::get_if<LinearLayer>(&s)) {
+            b += Bytes(l->k) * l->n * sizeof(float);  // weights
+            b += Bytes(l->m) * l->n * sizeof(float);  // output
+        } else if (const auto *a = std::get_if<AttentionBlock>(&s)) {
+            b += Bytes(a->heads) * a->seq * a->dhead * sizeof(float);
+        }
+    }
+    return b;
+}
+
+namespace {
+
+/** Shared encoder-stack builder. */
+Model
+encoderStack(std::string name, std::uint32_t batch, std::uint32_t seq,
+             std::uint32_t hidden, std::uint32_t heads, std::uint32_t ff,
+             bool fuse_qkv, std::uint32_t layers)
+{
+    rsn_assert(hidden % heads == 0, "hidden must divide into heads");
+    Model m;
+    m.name = std::move(name);
+    const std::uint32_t rows = batch * seq;
+    m.input_rows = rows;
+    m.input_cols = hidden;
+    const std::uint32_t dhead = hidden / heads;
+
+    std::string x = "input";
+    for (std::uint32_t l = 0; l < layers; ++l) {
+        std::string p = "L" + std::to_string(l) + ".";
+        AttentionBlock attn;
+        attn.name = p + "attention";
+        attn.heads = batch * heads;
+        attn.heads_per_batch = heads;
+        attn.seq = seq;
+        attn.dhead = dhead;
+        attn.out_name = p + "attn_out";
+
+        if (fuse_qkv) {
+            // One fused GEMM; Q/K/V are column ranges of its output
+            // ("mathematically fused", the simplified type-C mapping).
+            LinearLayer qkv;
+            qkv.name = p + "qkv";
+            qkv.m = rows;
+            qkv.k = hidden;
+            qkv.n = 3 * hidden;
+            qkv.bias = true;
+            qkv.in_src = x;
+            qkv.out_name = p + "qkv_out";
+            m.segments.emplace_back(qkv);
+            attn.q_src = attn.k_src = attn.v_src = p + "qkv_out";
+            attn.q_col_off = 0;
+            attn.k_col_off = hidden;
+            attn.v_col_off = 2 * hidden;
+        } else {
+            const char *names[3] = {"query", "key", "value"};
+            for (int i = 0; i < 3; ++i) {
+                LinearLayer lin;
+                lin.name = p + names[i];
+                lin.m = rows;
+                lin.k = hidden;
+                lin.n = hidden;
+                lin.bias = true;
+                lin.in_src = x;
+                lin.out_name = p + names[i] + "_out";
+                m.segments.emplace_back(lin);
+            }
+            attn.q_src = p + "query_out";
+            attn.k_src = p + "key_out";
+            attn.v_src = p + "value_out";
+        }
+        m.segments.emplace_back(attn);
+
+        LinearLayer dense;
+        dense.name = p + "dense";
+        dense.m = rows;
+        dense.k = hidden;
+        dense.n = hidden;
+        dense.bias = true;
+        dense.residual = true;
+        dense.residual_src = x;
+        dense.layernorm = true;
+        dense.in_src = p + "attn_out";
+        dense.out_name = p + "dense_out";
+        m.segments.emplace_back(dense);
+
+        LinearLayer ff1;
+        ff1.name = p + "ff1";
+        ff1.m = rows;
+        ff1.k = hidden;
+        ff1.n = ff;
+        ff1.bias = true;
+        ff1.gelu = true;
+        ff1.in_src = p + "dense_out";
+        ff1.out_name = p + "ff1_out";
+        m.segments.emplace_back(ff1);
+
+        LinearLayer ff2;
+        ff2.name = p + "ff2";
+        ff2.m = rows;
+        ff2.k = ff;
+        ff2.n = hidden;
+        ff2.bias = true;
+        ff2.residual = true;
+        ff2.residual_src = p + "dense_out";
+        ff2.layernorm = true;
+        ff2.in_src = p + "ff1_out";
+        ff2.out_name = p + "encoder_out";
+        m.segments.emplace_back(ff2);
+
+        x = p + "encoder_out";
+    }
+    return m;
+}
+
+} // namespace
+
+Model
+bertLargeEncoder(std::uint32_t batch, std::uint32_t seq, bool fuse_qkv,
+                 std::uint32_t layers)
+{
+    return encoderStack("BERT-Large", batch, seq, 1024, 16, 4096,
+                        fuse_qkv, layers);
+}
+
+Model
+vitEncoder(std::uint32_t batch, bool fuse_qkv, std::uint32_t layers)
+{
+    // 197 tokens (196 patches + CLS), rounded to 208 for head slicing.
+    return encoderStack("ViT", batch, 208, 768, 12, 3072, fuse_qkv,
+                        layers);
+}
+
+Model
+ncf(std::uint32_t batch)
+{
+    // Neural collaborative filtering tower: wide concat embedding (2048)
+    // funneled through dense layers, per CHARM's NCF configuration.
+    Model m;
+    m.name = "NCF";
+    m.input_rows = batch * 1024;  // batch of user-item interaction rows
+    m.input_cols = 2048;
+    std::string x = "input";
+    const std::uint32_t dims[4] = {2048, 1024, 512, 256};
+    for (int i = 0; i < 3; ++i) {
+        LinearLayer l;
+        l.name = "fc" + std::to_string(i);
+        l.m = m.input_rows;
+        l.k = dims[i];
+        l.n = dims[i + 1];
+        l.bias = true;
+        l.gelu = true;  // stands in for ReLU; same fusion path
+        l.in_src = x;
+        l.out_name = "fc" + std::to_string(i) + "_out";
+        m.segments.emplace_back(l);
+        x = l.out_name;
+    }
+    return m;
+}
+
+Model
+mlp(std::uint32_t batch)
+{
+    // The large-MLP benchmark: a stack of square 4096 layers.
+    Model m;
+    m.name = "MLP";
+    m.input_rows = batch * 512;
+    m.input_cols = 4096;
+    std::string x = "input";
+    for (int i = 0; i < 5; ++i) {
+        LinearLayer l;
+        l.name = "mlp" + std::to_string(i);
+        l.m = m.input_rows;
+        l.k = 4096;
+        l.n = 4096;
+        l.bias = true;
+        l.gelu = i < 4;
+        l.in_src = x;
+        l.out_name = "mlp" + std::to_string(i) + "_out";
+        m.segments.emplace_back(l);
+        x = l.out_name;
+    }
+    return m;
+}
+
+Model
+tinyEncoder(std::uint32_t batch, std::uint32_t seq, std::uint32_t hidden,
+            std::uint32_t heads, std::uint32_t ff, bool fuse_qkv)
+{
+    return encoderStack("tiny-encoder", batch, seq, hidden, heads, ff,
+                        fuse_qkv, 1);
+}
+
+} // namespace rsn::lib

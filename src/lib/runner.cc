@@ -1,0 +1,132 @@
+#include "lib/runner.hh"
+
+#include "common/log.hh"
+
+namespace rsn::lib {
+
+void
+initTensors(core::RsnMachine &mach, const CompiledModel &compiled,
+            std::uint32_t seed, float scale)
+{
+    if (!mach.host().functional())
+        return;
+    std::uint32_t salt = 1;
+    for (const auto &t : compiled.tensors) {
+        if (t.name == "input" || t.is_weight) {
+            ref::Matrix m = ref::randomMatrix(t.rows, t.cols,
+                                              seed + salt, scale);
+            mach.host().fillRegion(t.addr, m.data);
+        }
+        ++salt;
+    }
+}
+
+ref::Matrix
+readTensor(core::RsnMachine &mach, const CompiledModel &compiled,
+           const std::string &name)
+{
+    const TensorInfo &t = compiled.tensor(name);
+    ref::Matrix m(t.rows, t.cols);
+    m.data = mach.host().readRegion(t.addr);
+    rsn_assert(m.data.size() == std::size_t(t.rows) * t.cols,
+               "tensor read shape mismatch");
+    return m;
+}
+
+namespace {
+
+/** Extract a column range [off, off+w) of a matrix. */
+ref::Matrix
+colRange(const ref::Matrix &m, std::uint32_t off, std::uint32_t w)
+{
+    ref::Matrix out(m.rows, w);
+    for (std::uint32_t i = 0; i < m.rows; ++i)
+        for (std::uint32_t j = 0; j < w; ++j)
+            out.at(i, j) = m.at(i, off + j);
+    return out;
+}
+
+/** Extract a row range. */
+ref::Matrix
+rowRange(const ref::Matrix &m, std::uint32_t off, std::uint32_t h)
+{
+    ref::Matrix out(h, m.cols);
+    for (std::uint32_t i = 0; i < h; ++i)
+        for (std::uint32_t j = 0; j < m.cols; ++j)
+            out.at(i, j) = m.at(off + i, j);
+    return out;
+}
+
+void
+placeBlock(ref::Matrix &dst, const ref::Matrix &block, std::uint32_t r0,
+           std::uint32_t c0)
+{
+    for (std::uint32_t i = 0; i < block.rows; ++i)
+        for (std::uint32_t j = 0; j < block.cols; ++j)
+            dst.at(r0 + i, c0 + j) = block.at(i, j);
+}
+
+} // namespace
+
+std::map<std::string, ref::Matrix>
+referenceForward(core::RsnMachine &mach, const Model &model,
+                 const CompiledModel &compiled)
+{
+    std::map<std::string, ref::Matrix> acts;
+    acts["input"] = readTensor(mach, compiled, "input");
+
+    for (const auto &seg : model.segments) {
+        if (const auto *l = std::get_if<LinearLayer>(&seg)) {
+            const ref::Matrix &in =
+                acts.at(l->in_src.empty() ? "input" : l->in_src);
+            ref::Matrix w = readTensor(mach, compiled, "W." + l->name);
+            ref::Matrix out = ref::matmul(in, w);
+            if (l->bias) {
+                ref::Matrix b = readTensor(mach, compiled,
+                                           "b." + l->name);
+                out = ref::addBias(out, b.data);
+            }
+            // Epilogue order matches MemC: residual, gelu, layernorm.
+            if (l->residual)
+                out = ref::add(out, acts.at(l->residual_src));
+            if (l->gelu)
+                out = ref::gelu(out);
+            if (l->layernorm) {
+                ref::Matrix ln = readTensor(mach, compiled,
+                                            "ln." + l->name);
+                std::vector<float> gamma(ln.data.begin(),
+                                         ln.data.begin() + ln.cols);
+                std::vector<float> beta(ln.data.begin() + ln.cols,
+                                        ln.data.begin() + 2 * ln.cols);
+                out = ref::layernorm(out, gamma, beta);
+            }
+            acts[l->out_name] = std::move(out);
+        } else if (const auto *a = std::get_if<AttentionBlock>(&seg)) {
+            const std::uint32_t batch = a->heads / a->heads_per_batch;
+            ref::Matrix out(batch * a->seq, a->heads_per_batch * a->dhead);
+            const ref::Matrix &q_all = acts.at(a->q_src);
+            const ref::Matrix &k_all = acts.at(a->k_src);
+            const ref::Matrix &v_all = acts.at(a->v_src);
+            for (std::uint32_t h = 0; h < a->heads; ++h) {
+                const std::uint32_t b = h / a->heads_per_batch;
+                const std::uint32_t j = h % a->heads_per_batch;
+                ref::Matrix q = colRange(
+                    rowRange(q_all, b * a->seq, a->seq),
+                    a->q_col_off + j * a->dhead, a->dhead);
+                ref::Matrix k = colRange(
+                    rowRange(k_all, b * a->seq, a->seq),
+                    a->k_col_off + j * a->dhead, a->dhead);
+                ref::Matrix v = colRange(
+                    rowRange(v_all, b * a->seq, a->seq),
+                    a->v_col_off + j * a->dhead, a->dhead);
+                ref::Matrix probs = ref::softmax(ref::matmulBt(q, k));
+                ref::Matrix ctx = ref::matmul(probs, v);
+                placeBlock(out, ctx, b * a->seq, j * a->dhead);
+            }
+            acts[a->out_name] = std::move(out);
+        }
+    }
+    return acts;
+}
+
+} // namespace rsn::lib

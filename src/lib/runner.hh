@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Run support: tensor initialization, reference evaluation, and result
+ * extraction for compiled models.
+ *
+ * This plays the role of the paper's python_gold flow (Artifact Appendix):
+ * deterministic input/weight data goes into the simulated off-chip memory,
+ * the datapath computes through the stream network, and outputs are
+ * validated segment by segment against the independent reference.
+ */
+
+#ifndef RSN_LIB_RUNNER_HH
+#define RSN_LIB_RUNNER_HH
+
+#include <map>
+#include <string>
+
+#include "core/machine.hh"
+#include "lib/codegen.hh"
+#include "lib/model.hh"
+#include "ref/ref_math.hh"
+
+namespace rsn::lib {
+
+/**
+ * Fill the model's input and weight tensors with seeded pseudo-random
+ * data (activations start zeroed). No-op on timing-only machines.
+ */
+void initTensors(core::RsnMachine &mach, const CompiledModel &compiled,
+                 std::uint32_t seed, float scale = 0.5f);
+
+/** Read a tensor out of simulated off-chip memory as a matrix. */
+ref::Matrix readTensor(core::RsnMachine &mach,
+                       const CompiledModel &compiled,
+                       const std::string &name);
+
+/**
+ * Reference evaluation: replay the model on the host-memory contents with
+ * the naive implementations, returning every produced activation tensor
+ * by name (including per-segment intermediates).
+ */
+std::map<std::string, ref::Matrix>
+referenceForward(core::RsnMachine &mach, const Model &model,
+                 const CompiledModel &compiled);
+
+} // namespace rsn::lib
+
+#endif // RSN_LIB_RUNNER_HH

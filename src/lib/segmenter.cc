@@ -1,0 +1,128 @@
+#include "lib/segmenter.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace rsn::lib {
+
+std::string
+ModelPlan::toString() const
+{
+    std::string s;
+    for (const auto &seg : segments) {
+        s += detail::formatv(
+            "%-18s %-18s %s  %6.2f GFLOP  %7.2f MB  est %7.3f ms",
+            seg.name.c_str(), mappingName(seg.mapping),
+            seg.compute_bound ? "compute-bound" : "memory-bound ",
+            seg.flops / 1e9, seg.operand_bytes / 1e6, seg.est_ms);
+        if (!seg.fused_ops.empty()) {
+            s += "  fused:";
+            for (const auto &op : seg.fused_ops)
+                s += " " + op;
+        }
+        s += "\n";
+    }
+    s += detail::formatv("total estimate: %.3f ms\n", total_est_ms);
+    return s;
+}
+
+ModelPlan
+Segmenter::plan(const Model &model) const
+{
+    ModelPlan out;
+    for (const auto &segment : model.segments) {
+        SegmentPlan p;
+        if (const auto *l = std::get_if<LinearLayer>(&segment)) {
+            p.name = l->name;
+            p.flops = 2ull * l->m * l->k * l->n;
+            p.operand_bytes = (Bytes(l->m) * l->k + Bytes(l->k) * l->n +
+                               Bytes(l->m) * l->n) *
+                              sizeof(float);
+            if (l->residual)
+                p.operand_bytes += Bytes(l->m) * l->n * sizeof(float);
+            p.compute_bound =
+                linearIsComputeBound(l->m, l->k, l->n, budget_);
+            // Large MMs run alone with all FUs fused on the same layer
+            // (type A with mathematically-fused heads).
+            p.mapping = MappingType::LayerByLayer;
+            if (l->bias)
+                p.fused_ops.push_back("bias");
+            if (l->gelu)
+                p.fused_ops.push_back("gelu");
+            if (l->residual)
+                p.fused_ops.push_back("residual");
+            if (l->layernorm)
+                p.fused_ops.push_back("layernorm");
+            double compute_s = double(p.flops) /
+                               (budget_.peak_tflops * 1e12);
+            double mem_s = double(p.operand_bytes) /
+                           (budget_.bw_gbs * 1e9);
+            p.est_ms = std::max(compute_s, mem_s) * 1e3;
+
+            out.required.ddr_to_mem_a = true;
+            out.required.lpddr_to_mem_b = true;
+            out.required.memc_to_ddr = true;
+            if (l->residual)
+                out.required.ddr_to_mem_c = true;
+            if (l->layernorm)
+                out.required.lpddr_to_mem_c = true;
+        } else if (const auto *a =
+                       std::get_if<AttentionBlock>(&segment)) {
+            p.name = a->name;
+            p.flops = 4ull * a->heads * a->seq * a->dhead * a->seq;
+            p.operand_bytes = 4ull * a->heads * a->seq * a->dhead *
+                              sizeof(float);
+            p.compute_bound = false;
+            p.intermediate_bytes =
+                pipelineIntermediateBytes(a->seq, a->seq);
+            AttentionWorkload w{a->heads, a->seq, a->dhead};
+            // Pipeline only when the per-head intermediate fits on chip
+            // (Sec. 4.3's capacity argument).
+            p.mapping = p.intermediate_bytes <= onchip_capacity_
+                            ? bestMapping(w, budget_)
+                            : MappingType::LayerByLayer;
+            p.est_ms =
+                estimateMapping(p.mapping, w, budget_).final_ms;
+            p.fused_ops.push_back("softmax");
+
+            out.required.ddr_to_mem_a = true;
+            out.required.ddr_to_mem_b = true;  // K/V are feature maps
+            out.required.memc_to_ddr = true;
+            if (p.mapping == MappingType::Pipeline)
+                out.required.memc_to_mesh = true;
+        }
+        out.total_est_ms += p.est_ms;
+        out.segments.push_back(std::move(p));
+    }
+    return out;
+}
+
+std::vector<std::string>
+Segmenter::missingEdges(const ModelPlan &plan, const net::Topology &topo)
+{
+    std::vector<std::string> missing;
+    auto need = [&](bool required, FuId src, FuId dst,
+                    const char *what) {
+        if (required && !topo.hasEdge(src, dst))
+            missing.push_back(what);
+    };
+    const auto &r = plan.required;
+    need(r.ddr_to_mem_a, {FuType::Ddr, 0}, {FuType::MemA, 0},
+         "DDR->MemA");
+    need(r.ddr_to_mem_b, {FuType::Ddr, 0}, {FuType::MemB, 0},
+         "DDR->MemB");
+    need(r.ddr_to_mem_c, {FuType::Ddr, 0}, {FuType::MemC, 0},
+         "DDR->MemC");
+    need(r.lpddr_to_mem_b, {FuType::Lpddr, 0}, {FuType::MemB, 0},
+         "LPDDR->MemB");
+    need(r.lpddr_to_mem_c, {FuType::Lpddr, 0}, {FuType::MemC, 0},
+         "LPDDR->MemC");
+    need(r.memc_to_mesh, {FuType::MemC, 0}, {FuType::MeshA, 0},
+         "MemC->MeshA");
+    need(r.memc_to_ddr, {FuType::MemC, 0}, {FuType::Ddr, 0},
+         "MemC->DDR");
+    return missing;
+}
+
+} // namespace rsn::lib

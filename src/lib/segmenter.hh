@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The datapath-generation decision process of paper Sec. 4.2, made
+ * explicit and testable. Three stages:
+ *
+ *  1. Model segmentation — compute-bound layers run alone; memory-bound
+ *     dependent layers group into pipelines (subject to the on-chip
+ *     capacity needed by their intermediate).
+ *  2. Single-segment analysis — per segment: buffer sizes, mapping type
+ *     (via the Table 3 estimator), operand traffic, pipeline fusion of
+ *     non-MM operators.
+ *  3. Collective datapath construction — the "union" of every segment's
+ *     stream requirements, minimizing edges; this is checked against the
+ *     RSN-XNN topology the machine actually builds.
+ */
+
+#ifndef RSN_LIB_SEGMENTER_HH
+#define RSN_LIB_SEGMENTER_HH
+
+#include <string>
+#include <vector>
+
+#include "lib/mapping.hh"
+#include "lib/model.hh"
+#include "net/topology.hh"
+
+namespace rsn::lib {
+
+/** Analysis result for one model segment. */
+struct SegmentPlan {
+    std::string name;
+    MappingType mapping = MappingType::LayerByLayer;
+    bool compute_bound = false;
+    std::uint64_t flops = 0;
+    Bytes operand_bytes = 0;        ///< Off-chip traffic lower bound.
+    Bytes intermediate_bytes = 0;   ///< On-chip bytes if pipelined.
+    double est_ms = 0;              ///< First-order latency estimate.
+    std::vector<std::string> fused_ops;  ///< Non-MM ops fused in.
+};
+
+/** Stream-edge classes a segment requires from the datapath. */
+struct DatapathRequirements {
+    bool ddr_to_mem_a = false;   ///< LHS feature maps.
+    bool ddr_to_mem_b = false;   ///< K/V feature maps (attention).
+    bool ddr_to_mem_c = false;   ///< Residual tiles.
+    bool lpddr_to_mem_b = false; ///< Weights / bias.
+    bool lpddr_to_mem_c = false; ///< LayerNorm parameters.
+    bool memc_to_mesh = false;   ///< Dynamic chaining (pipelining).
+    bool memc_to_ddr = false;    ///< Store path.
+};
+
+/** Whole-model plan. */
+struct ModelPlan {
+    std::vector<SegmentPlan> segments;
+    DatapathRequirements required;  ///< Union over segments.
+    double total_est_ms = 0;
+
+    std::string toString() const;
+};
+
+class Segmenter
+{
+  public:
+    Segmenter(PlatformBudget budget, Bytes onchip_capacity = 12u << 20)
+        : budget_(budget), onchip_capacity_(onchip_capacity)
+    {
+    }
+
+    /** Stages 1 + 2: analyze every segment and pick mappings. */
+    ModelPlan plan(const Model &model) const;
+
+    /**
+     * Stage 3: verify @p topo provides every edge class the plan needs
+     * (the union-datapath check). Returns the missing edge classes.
+     */
+    static std::vector<std::string>
+    missingEdges(const ModelPlan &plan, const net::Topology &topo);
+
+  private:
+    PlatformBudget budget_;
+    Bytes onchip_capacity_;
+};
+
+} // namespace rsn::lib
+
+#endif // RSN_LIB_SEGMENTER_HH

@@ -1,0 +1,62 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace rsn::mem {
+
+DramChannel::DramChannel(sim::Engine &eng, DramConfig cfg)
+    : eng_(eng), cfg_(std::move(cfg)),
+      read_bpt_(gbpsToBytesPerTick(cfg_.read_gbps, cfg_.pl_hz)),
+      write_bpt_(gbpsToBytesPerTick(cfg_.write_gbps, cfg_.pl_hz))
+{
+    rsn_assert(read_bpt_ > 0 && write_bpt_ > 0, "bad DRAM bandwidth");
+}
+
+Tick
+DramChannel::serviceTicks(const DramRequest &req) const
+{
+    double bpt = req.dir == Dir::Read ? read_bpt_ : write_bpt_;
+    double transfer = static_cast<double>(req.bytes) / bpt;
+    Tick overhead = Tick(req.bursts ? req.bursts : 1) *
+                    cfg_.per_burst_overhead;
+    auto t = static_cast<Tick>(std::ceil(transfer)) + overhead;
+    return t ? t : 1;
+}
+
+sim::Task
+DramChannel::access(DramRequest req)
+{
+    Tick start = std::max(eng_.now(), busy_until_);
+    Tick dur = serviceTicks(req);
+    busy_until_ = start + dur;
+    busy_ticks_ += dur;
+    ++requests_;
+    if (req.dir == Dir::Read)
+        bytes_read_ += req.bytes;
+    else
+        bytes_written_ += req.bytes;
+    co_await eng_.delayUntil(busy_until_);
+}
+
+void
+DramChannel::scaleBandwidth(double factor)
+{
+    rsn_assert(factor > 0, "bandwidth factor must be positive");
+    read_bpt_ = gbpsToBytesPerTick(cfg_.read_gbps * factor, cfg_.pl_hz);
+    write_bpt_ = gbpsToBytesPerTick(cfg_.write_gbps * factor, cfg_.pl_hz);
+    cfg_.read_gbps *= factor;
+    cfg_.write_gbps *= factor;
+}
+
+double
+DramChannel::utilization(Tick total) const
+{
+    if (total == 0)
+        return 0.0;
+    return std::min(1.0, static_cast<double>(busy_ticks_) / total);
+}
+
+} // namespace rsn::mem

@@ -1,0 +1,119 @@
+#include "mem/hostmem.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace rsn::mem {
+
+Addr
+HostMemory::alloc(std::uint64_t elems, std::string name)
+{
+    rsn_assert(elems > 0, "empty allocation");
+    Addr base = next_;
+    Bytes bytes = elems * sizeof(float);
+    // Keep regions 64-byte aligned like a real allocator would.
+    next_ = (next_ + bytes + 63) & ~Addr(63);
+    Region r{base, elems, std::move(name), {}};
+    if (functional_)
+        r.data.assign(elems, 0.0f);
+    regions_.emplace(base, std::move(r));
+    return base;
+}
+
+const HostMemory::Region *
+HostMemory::find(Addr addr) const
+{
+    auto it = regions_.upper_bound(addr);
+    if (it == regions_.begin())
+        return nullptr;
+    --it;
+    const Region &r = it->second;
+    if (addr >= r.base + r.elems * sizeof(float))
+        return nullptr;
+    return &r;
+}
+
+HostMemory::Region *
+HostMemory::find(Addr addr)
+{
+    return const_cast<Region *>(
+        static_cast<const HostMemory *>(this)->find(addr));
+}
+
+bool
+HostMemory::contains(Addr addr) const
+{
+    return find(addr) != nullptr;
+}
+
+std::string
+HostMemory::regionName(Addr addr) const
+{
+    const Region *r = find(addr);
+    return r ? r->name : "";
+}
+
+std::vector<float>
+HostMemory::readBlock(Addr addr, std::uint64_t pitch_elems,
+                      std::uint32_t rows, std::uint32_t cols) const
+{
+    if (!functional_)
+        return {};
+    const Region *r = find(addr);
+    rsn_assert(r, "read from unmapped address 0x%llx (%ux%u pitch %llu)",
+               static_cast<unsigned long long>(addr), rows, cols,
+               static_cast<unsigned long long>(pitch_elems));
+    std::uint64_t off = (addr - r->base) / sizeof(float);
+    std::vector<float> out(std::uint64_t(rows) * cols);
+    for (std::uint32_t i = 0; i < rows; ++i) {
+        std::uint64_t src = off + std::uint64_t(i) * pitch_elems;
+        rsn_assert(src + cols <= r->elems, "read past region end in '%s'",
+                   r->name.c_str());
+        std::copy_n(r->data.begin() + src, cols,
+                    out.begin() + std::uint64_t(i) * cols);
+    }
+    return out;
+}
+
+void
+HostMemory::writeBlock(Addr addr, std::uint64_t pitch_elems,
+                       std::uint32_t rows, std::uint32_t cols,
+                       const std::vector<float> &data)
+{
+    if (!functional_)
+        return;
+    Region *r = find(addr);
+    rsn_assert(r, "write to unmapped address");
+    rsn_assert(data.size() >= std::uint64_t(rows) * cols,
+               "write payload too small");
+    std::uint64_t off = (addr - r->base) / sizeof(float);
+    for (std::uint32_t i = 0; i < rows; ++i) {
+        std::uint64_t dst = off + std::uint64_t(i) * pitch_elems;
+        rsn_assert(dst + cols <= r->elems, "write past region end in '%s'",
+                   r->name.c_str());
+        std::copy_n(data.begin() + std::uint64_t(i) * cols, cols,
+                    r->data.begin() + dst);
+    }
+}
+
+void
+HostMemory::fillRegion(Addr base, const std::vector<float> &values)
+{
+    if (!functional_)
+        return;
+    auto it = regions_.find(base);
+    rsn_assert(it != regions_.end(), "fill of unknown region");
+    rsn_assert(values.size() == it->second.elems, "fill size mismatch");
+    it->second.data = values;
+}
+
+std::vector<float>
+HostMemory::readRegion(Addr base) const
+{
+    auto it = regions_.find(base);
+    rsn_assert(it != regions_.end(), "read of unknown region");
+    return it->second.data;
+}
+
+} // namespace rsn::mem

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Off-chip data layout models.
+ *
+ * Sec. 5.3: "To reduce strided off-chip memory accesses, data is stored in a
+ * 128x64 blocked layout off-chip, and MemA/B/C handle on-chip conversion from
+ * blocked to row-major or transposed format."
+ *
+ * The layout determines how many distinct DRAM bursts a 2-D tile access
+ * touches; each burst pays the channel's per-burst overhead. A row-major
+ * matrix costs one burst per partial row, while the blocked layout costs one
+ * burst per touched block — the difference is the paper's motivation for
+ * blocking, and is measured by bench_ablation_tiles.
+ */
+
+#ifndef RSN_MEM_LAYOUT_HH
+#define RSN_MEM_LAYOUT_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace rsn::mem {
+
+/** How a matrix is arranged in off-chip memory. */
+enum class LayoutKind : std::uint8_t {
+    RowMajor,   ///< Standard row-major; partial-row tiles are strided.
+    Blocked,    ///< 128x64 blocks, each block contiguous.
+};
+
+/** A rectangular tile access within a rows x cols matrix. */
+struct TileAccess {
+    std::uint32_t mat_rows = 0;
+    std::uint32_t mat_cols = 0;
+    std::uint32_t row_off = 0;
+    std::uint32_t col_off = 0;
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+};
+
+/** Parameters of the blocked layout (paper uses 128 x 64). */
+struct BlockedLayout {
+    std::uint32_t block_rows = 128;
+    std::uint32_t block_cols = 64;
+};
+
+/**
+ * Number of distinct contiguous bursts @p a touches under @p kind.
+ * Used to fill DramRequest::bursts.
+ */
+std::uint32_t burstsFor(const TileAccess &a, LayoutKind kind,
+                        const BlockedLayout &bl = {});
+
+/** Bytes covered by the tile access (FP32 elements). */
+inline Bytes
+tileBytes(const TileAccess &a)
+{
+    return Bytes(a.rows) * a.cols * sizeof(float);
+}
+
+} // namespace rsn::mem
+
+#endif // RSN_MEM_LAYOUT_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Stream network topology: the static graph of FUs and edges.
+ *
+ * The RSN datapath is "a specialized circuit-switched network of stateful
+ * FUs" (Sec. 3.1). The topology is decided at datapath-generation time
+ * (Sec. 4.2: the "union" datapath over all model segments); programs then
+ * trigger paths through it. This module owns the graph description, its
+ * validation, path checking, and DOT export; the machine instantiates one
+ * sim::Stream per edge.
+ */
+
+#ifndef RSN_NET_TOPOLOGY_HH
+#define RSN_NET_TOPOLOGY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rsn::net {
+
+/** One directed stream edge. */
+struct Edge {
+    FuId src;
+    FuId dst;
+    double bytes_per_tick = 0;  ///< Link width.
+    std::size_t depth = 2;      ///< FIFO depth in chunks.
+
+    std::string name() const
+    {
+        return src.toString() + "->" + dst.toString();
+    }
+};
+
+/** A triggered path: an ordered FU chain that must be edge-connected. */
+using Path = std::vector<FuId>;
+
+class Topology
+{
+  public:
+    void addNode(FuId id);
+    void addEdge(Edge e);
+
+    const std::vector<FuId> &nodes() const { return nodes_; }
+    const std::vector<Edge> &edges() const { return edges_; }
+
+    bool hasNode(FuId id) const;
+    bool hasEdge(FuId src, FuId dst) const;
+    const Edge *findEdge(FuId src, FuId dst) const;
+
+    /** Edges entering / leaving a node. */
+    std::vector<const Edge *> inEdges(FuId id) const;
+    std::vector<const Edge *> outEdges(FuId id) const;
+
+    /** Aggregate bandwidth (in + out) of a node in bytes/tick. */
+    double aggregateBandwidth(FuId id) const;
+
+    /**
+     * Structural validation: edges reference existing nodes, no duplicate
+     * edges, no self-loops. Fatal on violation.
+     */
+    void validate() const;
+
+    /** True when consecutive path hops are all connected by edges. */
+    bool pathConnected(const Path &p, std::string *why = nullptr) const;
+
+    /** Graphviz DOT rendering of the network. */
+    std::string toDot(const std::string &graph_name = "rsn") const;
+
+  private:
+    std::vector<FuId> nodes_;
+    std::vector<Edge> edges_;
+};
+
+} // namespace rsn::net
+
+#endif // RSN_NET_TOPOLOGY_HH

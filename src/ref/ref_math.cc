@@ -1,0 +1,179 @@
+#include "ref/ref_math.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace rsn::ref {
+
+Matrix
+randomMatrix(std::uint32_t rows, std::uint32_t cols, std::uint32_t seed,
+             float scale)
+{
+    Matrix m(rows, cols);
+    // xorshift32; seed 0 would be a fixed point, nudge it.
+    std::uint32_t s = seed ? seed : 0x9e3779b9u;
+    for (auto &v : m.data) {
+        s ^= s << 13;
+        s ^= s >> 17;
+        s ^= s << 5;
+        // Map to [-scale, scale).
+        v = (float(s) / 4294967296.0f * 2.0f - 1.0f) * scale;
+    }
+    return m;
+}
+
+Matrix
+matmul(const Matrix &a, const Matrix &b)
+{
+    rsn_assert(a.cols == b.rows, "matmul shape mismatch");
+    Matrix c(a.rows, b.cols);
+    for (std::uint32_t i = 0; i < a.rows; ++i) {
+        for (std::uint32_t k = 0; k < a.cols; ++k) {
+            float av = a.at(i, k);
+            if (av == 0.f)
+                continue;
+            for (std::uint32_t j = 0; j < b.cols; ++j)
+                c.at(i, j) += av * b.at(k, j);
+        }
+    }
+    return c;
+}
+
+Matrix
+matmulBt(const Matrix &a, const Matrix &b)
+{
+    rsn_assert(a.cols == b.cols, "matmulBt shape mismatch");
+    Matrix c(a.rows, b.rows);
+    for (std::uint32_t i = 0; i < a.rows; ++i)
+        for (std::uint32_t j = 0; j < b.rows; ++j) {
+            float acc = 0.f;
+            for (std::uint32_t k = 0; k < a.cols; ++k)
+                acc += a.at(i, k) * b.at(j, k);
+            c.at(i, j) = acc;
+        }
+    return c;
+}
+
+Matrix
+transpose(const Matrix &a)
+{
+    Matrix t(a.cols, a.rows);
+    for (std::uint32_t i = 0; i < a.rows; ++i)
+        for (std::uint32_t j = 0; j < a.cols; ++j)
+            t.at(j, i) = a.at(i, j);
+    return t;
+}
+
+Matrix
+addBias(const Matrix &a, const std::vector<float> &bias)
+{
+    rsn_assert(bias.size() >= a.cols, "bias too small");
+    Matrix c = a;
+    for (std::uint32_t i = 0; i < a.rows; ++i)
+        for (std::uint32_t j = 0; j < a.cols; ++j)
+            c.at(i, j) += bias[j];
+    return c;
+}
+
+Matrix
+add(const Matrix &a, const Matrix &b)
+{
+    rsn_assert(a.rows == b.rows && a.cols == b.cols, "add shape mismatch");
+    Matrix c = a;
+    for (std::size_t i = 0; i < c.data.size(); ++i)
+        c.data[i] += b.data[i];
+    return c;
+}
+
+Matrix
+softmax(const Matrix &a)
+{
+    Matrix c = a;
+    for (std::uint32_t i = 0; i < a.rows; ++i) {
+        float mx = -INFINITY;
+        for (std::uint32_t j = 0; j < a.cols; ++j)
+            mx = std::max(mx, c.at(i, j));
+        double sum = 0;
+        for (std::uint32_t j = 0; j < a.cols; ++j)
+            sum += std::exp(double(c.at(i, j)) - mx);
+        for (std::uint32_t j = 0; j < a.cols; ++j)
+            c.at(i, j) = float(std::exp(double(c.at(i, j)) - mx) / sum);
+    }
+    return c;
+}
+
+Matrix
+gelu(const Matrix &a)
+{
+    Matrix c = a;
+    for (auto &x : c.data) {
+        double v = x;
+        x = float(0.5 * v * (1.0 + std::erf(v / std::sqrt(2.0))));
+    }
+    return c;
+}
+
+Matrix
+layernorm(const Matrix &a, const std::vector<float> &gamma,
+          const std::vector<float> &beta)
+{
+    rsn_assert(gamma.size() >= a.cols && beta.size() >= a.cols,
+               "layernorm params too small");
+    Matrix c(a.rows, a.cols);
+    for (std::uint32_t i = 0; i < a.rows; ++i) {
+        double mean = 0;
+        for (std::uint32_t j = 0; j < a.cols; ++j)
+            mean += a.at(i, j);
+        mean /= a.cols;
+        double var = 0;
+        for (std::uint32_t j = 0; j < a.cols; ++j) {
+            double d = a.at(i, j) - mean;
+            var += d * d;
+        }
+        var /= a.cols;
+        double inv = 1.0 / std::sqrt(var + 1e-5);
+        for (std::uint32_t j = 0; j < a.cols; ++j)
+            c.at(i, j) = float((a.at(i, j) - mean) * inv * gamma[j] +
+                               beta[j]);
+    }
+    return c;
+}
+
+bool
+allclose(const Matrix &a, const Matrix &b, float rtol, float atol,
+         std::string *why)
+{
+    if (a.rows != b.rows || a.cols != b.cols) {
+        if (why)
+            *why = "shape mismatch";
+        return false;
+    }
+    for (std::size_t i = 0; i < a.data.size(); ++i) {
+        float x = a.data[i], y = b.data[i];
+        float tol = atol + rtol * std::abs(y);
+        if (std::abs(x - y) > tol || std::isnan(x) != std::isnan(y)) {
+            if (why) {
+                char buf[128];
+                std::snprintf(buf, sizeof(buf),
+                              "elem %zu: %g vs %g (tol %g)", i, x, y, tol);
+                *why = buf;
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+float
+maxAbsDiff(const Matrix &a, const Matrix &b)
+{
+    rsn_assert(a.data.size() == b.data.size(), "shape mismatch");
+    float mx = 0.f;
+    for (std::size_t i = 0; i < a.data.size(); ++i)
+        mx = std::max(mx, std::abs(a.data[i] - b.data[i]));
+    return mx;
+}
+
+} // namespace rsn::ref

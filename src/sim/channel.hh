@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Bounded latency-insensitive channel connecting coroutines.
+ *
+ * A Channel<T> is a FIFO of fixed capacity. Senders block (suspend) while the
+ * channel is full; receivers block while it is empty. This is the data-plane
+ * primitive of the RSN abstraction: "communication is latency-insensitive,
+ * meaning that the correctness of execution does not depend on timing, and
+ * the FUs are stallable" (paper Sec. 3.1).
+ *
+ * Wakeups use a reservation discipline: when a send makes an item available,
+ * exactly one waiting receiver is woken and that item is reserved for it, so
+ * a later receiver arriving before the wakeup fires cannot steal it (and
+ * symmetrically for freed slots and waiting senders). This keeps the channel
+ * strictly FIFO and deterministic.
+ */
+
+#ifndef RSN_SIM_CHANNEL_HH
+#define RSN_SIM_CHANNEL_HH
+
+#include <coroutine>
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "common/log.hh"
+#include "sim/engine.hh"
+
+namespace rsn::sim {
+
+template <typename T>
+class Channel
+{
+  public:
+    Channel(Engine &eng, std::size_t capacity, std::string name = "chan")
+        : eng_(eng), cap_(capacity), name_(std::move(name))
+    {
+        rsn_assert(capacity > 0, "channel capacity must be positive");
+    }
+
+    Channel(const Channel &) = delete;
+    Channel &operator=(const Channel &) = delete;
+
+    const std::string &name() const { return name_; }
+    std::size_t capacity() const { return cap_; }
+    std::size_t size() const { return q_.size(); }
+    bool empty() const { return q_.empty(); }
+
+    /** Number of items ever pushed (stats). */
+    std::uint64_t totalPushed() const { return total_pushed_; }
+
+    /** True if a coroutine is currently blocked sending / receiving. */
+    bool hasBlockedSender() const { return !send_waiters_.empty(); }
+    bool hasBlockedReceiver() const { return !recv_waiters_.empty(); }
+
+    /** Awaitable: suspend until the item can be enqueued, then enqueue. */
+    auto send(T v) { return SendAwaiter{*this, std::move(v)}; }
+
+    /** Awaitable: suspend until an item is available, then dequeue it. */
+    auto recv() { return RecvAwaiter{*this}; }
+
+    /**
+     * Non-blocking push; only legal when no senders are waiting (used by
+     * non-coroutine producers such as test drivers).
+     *
+     * @return false if the channel was full.
+     */
+    bool
+    tryPush(T v)
+    {
+        rsn_assert(send_waiters_.empty(),
+                   "tryPush would bypass blocked senders");
+        if (q_.size() >= cap_)
+            return false;
+        pushNow(std::move(v));
+        return true;
+    }
+
+    /** Non-blocking pop; only legal when no receivers are waiting. */
+    bool
+    tryPop(T &out)
+    {
+        rsn_assert(recv_waiters_.empty(),
+                   "tryPop would bypass blocked receivers");
+        if (available() == 0)
+            return false;
+        out = popNow();
+        return true;
+    }
+
+  private:
+    friend struct SendAwaiterFriend;
+
+    /** Items present and not reserved for an already-woken receiver. */
+    std::size_t available() const { return q_.size() - reserved_pops_; }
+    /** Free slots not reserved for an already-woken sender. */
+    std::size_t
+    freeSlots() const
+    {
+        return cap_ - q_.size() - reserved_pushes_;
+    }
+
+    void
+    pushNow(T v)
+    {
+        q_.push_back(std::move(v));
+        ++total_pushed_;
+        rsn_assert(q_.size() <= cap_, "channel overflow");
+        wakeOneReceiver();
+    }
+
+    T
+    popNow()
+    {
+        rsn_assert(!q_.empty(), "channel underflow");
+        T v = std::move(q_.front());
+        q_.pop_front();
+        wakeOneSender();
+        return v;
+    }
+
+    void
+    wakeOneReceiver()
+    {
+        if (recv_waiters_.empty())
+            return;
+        auto h = recv_waiters_.front();
+        recv_waiters_.pop_front();
+        ++reserved_pops_;
+        eng_.resumeAfter(0, h);
+    }
+
+    void
+    wakeOneSender()
+    {
+        if (send_waiters_.empty())
+            return;
+        auto h = send_waiters_.front();
+        send_waiters_.pop_front();
+        ++reserved_pushes_;
+        eng_.resumeAfter(0, h);
+    }
+
+    struct SendAwaiter {
+        Channel &ch;
+        T v;
+        bool was_suspended = false;
+
+        bool await_ready() const
+        {
+            return ch.send_waiters_.empty() && ch.freeSlots() > 0;
+        }
+        void await_suspend(std::coroutine_handle<> h)
+        {
+            was_suspended = true;
+            ch.send_waiters_.push_back(h);
+        }
+        void await_resume()
+        {
+            if (was_suspended) {
+                rsn_assert(ch.reserved_pushes_ > 0, "push wakeup imbalance");
+                --ch.reserved_pushes_;
+            }
+            ch.pushNow(std::move(v));
+        }
+    };
+
+    struct RecvAwaiter {
+        Channel &ch;
+        bool was_suspended = false;
+
+        bool await_ready() const
+        {
+            return ch.recv_waiters_.empty() && ch.available() > 0;
+        }
+        void await_suspend(std::coroutine_handle<> h)
+        {
+            was_suspended = true;
+            ch.recv_waiters_.push_back(h);
+        }
+        T await_resume()
+        {
+            if (was_suspended) {
+                rsn_assert(ch.reserved_pops_ > 0, "pop wakeup imbalance");
+                --ch.reserved_pops_;
+            }
+            return ch.popNow();
+        }
+    };
+
+    Engine &eng_;
+    std::size_t cap_;
+    std::string name_;
+    std::deque<T> q_;
+    std::deque<std::coroutine_handle<>> send_waiters_;
+    std::deque<std::coroutine_handle<>> recv_waiters_;
+    std::size_t reserved_pops_ = 0;
+    std::size_t reserved_pushes_ = 0;
+    std::uint64_t total_pushed_ = 0;
+};
+
+} // namespace rsn::sim
+
+#endif // RSN_SIM_CHANNEL_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Chunk: the unit of data carried on RSN streams.
+ *
+ * A chunk is a 2-D tile block (rows x cols FP32 elements). Timing-only runs
+ * leave @c data null; functional runs attach an FP32 payload in row-major
+ * order. Receivers must treat payloads as immutable and allocate fresh
+ * buffers for transformed data (copy-on-transform), since payloads are
+ * shared when a mesh FU broadcasts one chunk to several destinations.
+ */
+
+#ifndef RSN_SIM_CHUNK_HH
+#define RSN_SIM_CHUNK_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace rsn::sim {
+
+struct Chunk {
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    /** Payload size on the wire; defaults to rows*cols*sizeof(float). */
+    Bytes bytes = 0;
+    /** Optional functional payload, row-major rows x cols. */
+    std::shared_ptr<const std::vector<float>> data;
+    /** Free-form tag for debugging / assertions (e.g. k-step index). */
+    std::uint32_t tag = 0;
+
+    std::uint64_t elems() const
+    {
+        return std::uint64_t(rows) * cols;
+    }
+
+    bool hasData() const { return data != nullptr; }
+
+    /** Element access (functional payloads only). */
+    float
+    at(std::uint32_t r, std::uint32_t c) const
+    {
+        rsn_assert(data && r < rows && c < cols, "chunk access out of range");
+        return (*data)[std::uint64_t(r) * cols + c];
+    }
+};
+
+/** Make a timing-only chunk of rows x cols FP32 elements. */
+inline Chunk
+makeChunk(std::uint32_t rows, std::uint32_t cols, std::uint32_t tag = 0)
+{
+    return Chunk{rows, cols, Bytes(rows) * cols * sizeof(float), nullptr,
+                 tag};
+}
+
+/** Make a functional chunk wrapping @p values (must be rows*cols floats). */
+inline Chunk
+makeDataChunk(std::uint32_t rows, std::uint32_t cols,
+              std::vector<float> values, std::uint32_t tag = 0)
+{
+    rsn_assert(values.size() == std::size_t(rows) * cols,
+               "payload size mismatch");
+    return Chunk{rows, cols, Bytes(rows) * cols * sizeof(float),
+                 std::make_shared<const std::vector<float>>(
+                     std::move(values)),
+                 tag};
+}
+
+} // namespace rsn::sim
+
+#endif // RSN_SIM_CHUNK_HH

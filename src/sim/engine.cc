@@ -1,0 +1,51 @@
+#include "sim/engine.hh"
+
+#include "common/log.hh"
+
+namespace rsn::sim {
+
+void
+Engine::schedule(Tick delay, std::function<void()> fn)
+{
+    scheduleAt(now_ + delay, std::move(fn));
+}
+
+void
+Engine::scheduleAt(Tick when, std::function<void()> fn)
+{
+    rsn_assert(when >= now_, "scheduling into the past");
+    queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void
+Engine::resumeAt(Tick when, std::coroutine_handle<> h)
+{
+    scheduleAt(when, [h] { h.resume(); });
+}
+
+void
+Engine::resumeAfter(Tick delay, std::coroutine_handle<> h)
+{
+    resumeAt(now_ + delay, h);
+}
+
+bool
+Engine::run(Tick max_ticks)
+{
+    while (!queue_.empty()) {
+        if (queue_.top().when > max_ticks) {
+            now_ = max_ticks;
+            return false;
+        }
+        // Move the event out before popping so the callback may schedule
+        // further events without invalidating references.
+        Event ev = queue_.top();
+        queue_.pop();
+        now_ = ev.when;
+        ++events_processed_;
+        ev.fn();
+    }
+    return true;
+}
+
+} // namespace rsn::sim

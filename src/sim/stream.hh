@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Stream: a link-timed, bounded, latency-insensitive channel of Chunks.
+ *
+ * This is an edge of the RSN network (paper Sec. 3.1). On top of Channel
+ * semantics (FIFO, back-pressure) it models *link occupancy*: a chunk of B
+ * bytes occupies the link for ceil(B / width) ticks, and transfers serialize
+ * on the link. A full downstream FIFO back-pressures the link: the transfer
+ * does not start until a slot is reserved.
+ */
+
+#ifndef RSN_SIM_STREAM_HH
+#define RSN_SIM_STREAM_HH
+
+#include <coroutine>
+#include <deque>
+#include <string>
+
+#include "common/log.hh"
+#include "sim/chunk.hh"
+#include "sim/engine.hh"
+#include "sim/task.hh"
+
+namespace rsn::sim {
+
+class Stream
+{
+  public:
+    /**
+     * @param eng the event engine
+     * @param bytes_per_tick link width (bytes transferred per PL cycle)
+     * @param depth_chunks FIFO capacity in chunks
+     * @param name stream name for diagnostics
+     */
+    Stream(Engine &eng, double bytes_per_tick, std::size_t depth_chunks,
+           std::string name)
+        : eng_(eng), bytes_per_tick_(bytes_per_tick), cap_(depth_chunks),
+          name_(std::move(name))
+    {
+        rsn_assert(bytes_per_tick > 0, "stream width must be positive");
+        rsn_assert(depth_chunks > 0, "stream depth must be positive");
+    }
+
+    Stream(const Stream &) = delete;
+    Stream &operator=(const Stream &) = delete;
+
+    const std::string &name() const { return name_; }
+    double bytesPerTick() const { return bytes_per_tick_; }
+
+    /** Total bytes delivered (stats). */
+    Bytes bytesTransferred() const { return bytes_transferred_; }
+    /** Total chunks delivered (stats). */
+    std::uint64_t chunksTransferred() const { return chunks_transferred_; }
+    /** Ticks the link spent busy transferring (stats). */
+    Tick busyTicks() const { return busy_ticks_; }
+
+    bool hasBlockedSender() const { return !send_waiters_.empty(); }
+    bool hasBlockedReceiver() const { return !recv_waiters_.empty(); }
+    std::size_t queued() const { return q_.size(); }
+
+    /** Transfer duration in ticks for a chunk of @p b bytes (>= 1). */
+    Tick
+    transferTicks(Bytes b) const
+    {
+        auto t = static_cast<Tick>(
+            (static_cast<double>(b) + bytes_per_tick_ - 1) /
+            bytes_per_tick_);
+        return t ? t : 1;
+    }
+
+    /**
+     * Send a chunk: reserve a FIFO slot (blocking if full), occupy the link
+     * for the transfer duration, then deliver.
+     */
+    Task
+    send(Chunk c)
+    {
+        co_await SlotAwaiter{*this};
+        Tick start = std::max(eng_.now(), link_free_);
+        Tick end = start + transferTicks(c.bytes);
+        busy_ticks_ += end - start;
+        link_free_ = end;
+        co_await eng_.delayUntil(end);
+        deliver(std::move(c));
+    }
+
+    /** Receive the next chunk, blocking while the stream is empty. */
+    ValueTask<Chunk>
+    recv()
+    {
+        Chunk c = co_await RecvAwaiter{*this};
+        co_return c;
+    }
+
+  private:
+    /** Slots claimed = queued + reserved by in-flight transfers. */
+    std::size_t claimed() const { return q_.size() + in_flight_; }
+
+    void
+    deliver(Chunk c)
+    {
+        rsn_assert(in_flight_ > 0, "deliver without reservation");
+        --in_flight_;
+        bytes_transferred_ += c.bytes;
+        ++chunks_transferred_;
+        q_.push_back(std::move(c));
+        wakeOneReceiver();
+    }
+
+    void
+    wakeOneReceiver()
+    {
+        if (recv_waiters_.empty())
+            return;
+        auto h = recv_waiters_.front();
+        recv_waiters_.pop_front();
+        ++reserved_pops_;
+        eng_.resumeAfter(0, h);
+    }
+
+    void
+    wakeOneSender()
+    {
+        if (send_waiters_.empty())
+            return;
+        auto h = send_waiters_.front();
+        send_waiters_.pop_front();
+        ++reserved_slots_;
+        eng_.resumeAfter(0, h);
+    }
+
+    /** Awaits a free FIFO slot and claims it (as in-flight). */
+    struct SlotAwaiter {
+        Stream &s;
+        bool was_suspended = false;
+
+        bool await_ready() const
+        {
+            return s.send_waiters_.empty() &&
+                   s.claimed() + s.reserved_slots_ < s.cap_;
+        }
+        void await_suspend(std::coroutine_handle<> h)
+        {
+            was_suspended = true;
+            s.send_waiters_.push_back(h);
+        }
+        void await_resume()
+        {
+            if (was_suspended) {
+                rsn_assert(s.reserved_slots_ > 0, "slot wakeup imbalance");
+                --s.reserved_slots_;
+            }
+            ++s.in_flight_;
+        }
+    };
+
+    struct RecvAwaiter {
+        Stream &s;
+        bool was_suspended = false;
+
+        bool await_ready() const
+        {
+            return s.recv_waiters_.empty() &&
+                   s.q_.size() > s.reserved_pops_;
+        }
+        void await_suspend(std::coroutine_handle<> h)
+        {
+            was_suspended = true;
+            s.recv_waiters_.push_back(h);
+        }
+        Chunk await_resume()
+        {
+            if (was_suspended) {
+                rsn_assert(s.reserved_pops_ > 0, "pop wakeup imbalance");
+                --s.reserved_pops_;
+            }
+            rsn_assert(!s.q_.empty(), "stream underflow");
+            Chunk c = std::move(s.q_.front());
+            s.q_.pop_front();
+            s.wakeOneSender();
+            return c;
+        }
+    };
+
+    Engine &eng_;
+    double bytes_per_tick_;
+    std::size_t cap_;
+    std::string name_;
+
+    std::deque<Chunk> q_;
+    std::deque<std::coroutine_handle<>> send_waiters_;
+    std::deque<std::coroutine_handle<>> recv_waiters_;
+    std::size_t in_flight_ = 0;
+    std::size_t reserved_pops_ = 0;
+    std::size_t reserved_slots_ = 0;
+
+    Tick link_free_ = 0;
+    Tick busy_ticks_ = 0;
+    Bytes bytes_transferred_ = 0;
+    std::uint64_t chunks_transferred_ = 0;
+};
+
+} // namespace rsn::sim
+
+#endif // RSN_SIM_STREAM_HH

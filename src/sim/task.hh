@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Coroutine task types used by FU kernels and decoders.
+ *
+ * Task / ValueTask<T> are *eagerly started* coroutines: calling the coroutine
+ * function runs it until its first suspension point. They are awaitable, so a
+ * parent coroutine can `co_await` a child kernel; awaiting a task that
+ * already completed resumes immediately. Two eager tasks awaited in sequence
+ * execute concurrently in simulated time — this is how FU kernels express the
+ * paper's "load and send execute in parallel" (Fig. 7b).
+ *
+ * Lifetime rules: the Task object owns the coroutine frame and destroys it in
+ * its destructor. Never destroy a Task whose coroutine might still be resumed
+ * by the engine; the simulator guarantees this by destroying FUs (and their
+ * tasks) only after Engine::run has returned.
+ */
+
+#ifndef RSN_SIM_TASK_HH
+#define RSN_SIM_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace rsn::sim {
+
+namespace detail {
+
+/** Final awaiter that transfers control back to an awaiting parent. */
+template <typename Promise>
+struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<Promise> h) noexcept
+    {
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+    }
+
+    void await_resume() const noexcept {}
+};
+
+} // namespace detail
+
+/** Eagerly-started coroutine returning nothing. See file comment. */
+class [[nodiscard]] Task
+{
+  public:
+    struct promise_type {
+        std::coroutine_handle<> continuation;
+
+        Task get_return_object()
+        {
+            return Task{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+        std::suspend_never initial_suspend() noexcept { return {}; }
+        detail::FinalAwaiter<promise_type> final_suspend() noexcept
+        {
+            return {};
+        }
+        void return_void() noexcept {}
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    Task() = default;
+    explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+    Task(Task &&o) noexcept : h_(std::exchange(o.h_, {})) {}
+    Task &operator=(Task &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            h_ = std::exchange(o.h_, {});
+        }
+        return *this;
+    }
+    ~Task() { reset(); }
+
+    /** True when the coroutine ran to completion (or is empty). */
+    bool done() const { return !h_ || h_.done(); }
+
+    /** Destroy the owned coroutine frame (must not be live in the engine). */
+    void reset()
+    {
+        if (h_) {
+            h_.destroy();
+            h_ = {};
+        }
+    }
+
+    /** Awaiting a Task suspends the parent until the task completes. */
+    auto operator co_await() const noexcept
+    {
+        struct Awaiter {
+            std::coroutine_handle<promise_type> h;
+            bool await_ready() const noexcept { return !h || h.done(); }
+            void await_suspend(std::coroutine_handle<> parent) noexcept
+            {
+                h.promise().continuation = parent;
+            }
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{h_};
+    }
+
+  private:
+    std::coroutine_handle<promise_type> h_;
+};
+
+/** Eagerly-started coroutine producing a value of type T. */
+template <typename T>
+class [[nodiscard]] ValueTask
+{
+  public:
+    struct promise_type {
+        std::coroutine_handle<> continuation;
+        T value{};
+
+        ValueTask get_return_object()
+        {
+            return ValueTask{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+        std::suspend_never initial_suspend() noexcept { return {}; }
+        detail::FinalAwaiter<promise_type> final_suspend() noexcept
+        {
+            return {};
+        }
+        void return_value(T v) noexcept { value = std::move(v); }
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    ValueTask() = default;
+    explicit ValueTask(std::coroutine_handle<promise_type> h) : h_(h) {}
+    ValueTask(ValueTask &&o) noexcept : h_(std::exchange(o.h_, {})) {}
+    ValueTask &operator=(ValueTask &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            h_ = std::exchange(o.h_, {});
+        }
+        return *this;
+    }
+    ~ValueTask() { reset(); }
+
+    bool done() const { return !h_ || h_.done(); }
+
+    void reset()
+    {
+        if (h_) {
+            h_.destroy();
+            h_ = {};
+        }
+    }
+
+    auto operator co_await() const noexcept
+    {
+        struct Awaiter {
+            std::coroutine_handle<promise_type> h;
+            bool await_ready() const noexcept { return h.done(); }
+            void await_suspend(std::coroutine_handle<> parent) noexcept
+            {
+                h.promise().continuation = parent;
+            }
+            T await_resume() noexcept { return std::move(h.promise().value); }
+        };
+        return Awaiter{h_};
+    }
+
+  private:
+    std::coroutine_handle<promise_type> h_;
+};
+
+} // namespace rsn::sim
+
+#endif // RSN_SIM_TASK_HH

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "baseline/charm.hh"
+#include "baseline/gpu.hh"
+#include "baseline/vector_overlay.hh"
+#include "lib/model.hh"
+
+namespace {
+
+using namespace rsn;
+using namespace rsn::baseline;
+
+// ------------------------------------------------------ vector overlay --
+
+TEST(VectorOverlay, App1HasNoAvoidableStalls)
+{
+    VectorOverlay ov;
+    auto r = ov.run(fig6App1());
+    EXPECT_EQ(r.instructions, 3u);
+    // LD(25) -> ADD(13 after LD) -> ST(25): pure dependency chain.
+    EXPECT_GT(r.stall_cycles, 0u);  // RAW waits only
+}
+
+TEST(VectorOverlay, App2WarHazardsSerialize)
+{
+    VectorOverlay ov;
+    auto app1 = ov.run(fig6App1());
+    auto app2 = ov.run(fig6App2());
+    // App2 moves 3x the data; WAR hazards on v0 keep it from
+    // pipelining and pile up far more stall cycles than App1.
+    EXPECT_GT(app2.cycles, app1.cycles * 2);
+    EXPECT_GT(app2.stall_cycles, app1.stall_cycles * 2);
+}
+
+TEST(VectorOverlay, MoreRegistersEnableRenamingEffect)
+{
+    // With explicit extra registers a compiler could avoid WAR stalls;
+    // verify the model honours register indices by rewriting App2 to
+    // use distinct registers (the "extra load register" the paper
+    // mentions as a costly fix).
+    std::vector<VInstr> renamed = {
+        {VOp::Load, 0, -1, -1, 100},  {VOp::Add, 2, 0, 1, 100},
+        {VOp::Store, -1, 2, -1, 100},
+        {VOp::Load, 3, -1, -1, 100},  {VOp::Store, -1, 3, -1, 100},
+        {VOp::Load, 4, -1, -1, 100},  {VOp::Add, 5, 4, 1, 100},
+        {VOp::Store, -1, 5, -1, 100},
+    };
+    VectorOverlayConfig cfg;
+    cfg.num_regs = 6;
+    VectorOverlay big(cfg);
+    auto with_war = big.run(fig6App2());
+    auto without_war = big.run(renamed);
+    EXPECT_LT(without_war.cycles, with_war.cycles);
+}
+
+TEST(VectorOverlay, InstrToStringIsReadable)
+{
+    EXPECT_EQ(fig6App1()[0].toString(), "LD v0, 100");
+    EXPECT_NE(fig6App1()[1].toString().find("ADD"), std::string::npos);
+}
+
+// -------------------------------------------------------------- CHARM --
+
+TEST(Charm, CalibrationMatchesPublishedBertAnchors)
+{
+    CharmModel charm;
+    auto group = lib::bertLargeEncoder(6, 512, false, 1);
+    auto at6 = charm.run(group, 6);
+    // Paper: best latency 110 ms at B=6.
+    EXPECT_NEAR(at6.latency_ms, 110.0, 25.0);
+    auto at24 = charm.run(group, 24);
+    // Paper: throughput saturates near 102.7 tasks/s at B=24.
+    EXPECT_NEAR(at24.throughput_tasks, 102.7, 20.0);
+}
+
+TEST(Charm, ThroughputImprovesWithInterleavedGroups)
+{
+    CharmModel charm;
+    auto group = lib::bertLargeEncoder(6, 512, false, 1);
+    auto small = charm.run(group, 6);
+    auto big = charm.run(group, 24);
+    EXPECT_GT(big.throughput_tasks, small.throughput_tasks);
+    EXPECT_GT(big.latency_ms, small.latency_ms);
+}
+
+TEST(Charm, ScoresSpillDominatesDdrTraffic)
+{
+    CharmModel charm;
+    auto group = lib::bertLargeEncoder(6, 512, false, 1);
+    auto r = charm.run(group, 6);
+    // 96 heads x 512x512 scores x 2 (store + load) ~ 200 MB plus
+    // activations/weights.
+    EXPECT_GT(r.ddr_traffic_mb, 250.0);
+}
+
+TEST(Charm, SquareGemmMatchesPublishedBand)
+{
+    CharmModel charm;
+    EXPECT_NEAR(charm.squareGemmGflops(1024), 1103.0, 1600.0);
+    EXPECT_NEAR(charm.squareGemmGflops(3072), 2850.0, 700.0);
+    EXPECT_NEAR(charm.squareGemmGflops(6144), 3278.0, 700.0);
+    // Monotonic in problem size until DDR-bound.
+    EXPECT_LT(charm.squareGemmGflops(1024),
+              charm.squareGemmGflops(3072));
+}
+
+// ---------------------------------------------------------------- GPU --
+
+TEST(Gpu, Table10RowsPresent)
+{
+    auto gpus = table10Gpus();
+    ASSERT_GE(gpus.size(), 5u);
+    EXPECT_EQ(gpus[0].name, "T4");
+    EXPECT_DOUBLE_EQ(gpus[0].peak_tflops, 8.1);
+}
+
+TEST(Gpu, LatencyScalesWithBatch)
+{
+    GpuModel t4(table10Gpus()[0]);
+    double b1 = t4.bertLatencyMs(384, 1);
+    double b8 = t4.bertLatencyMs(384, 8);
+    EXPECT_GT(b8, b1 * 3);   // sublinear at small batch...
+    EXPECT_LT(b8, b1 * 10);  // ...but bounded.
+}
+
+TEST(Gpu, ModelLandsNearPaperLatencies)
+{
+    for (const auto &spec : table10Gpus()) {
+        GpuModel gpu(spec);
+        double model_b8 = gpu.bertLatencyMs(384, 8);
+        double paper_b8 = spec.paper_latency_ms[3];
+        // Within 3x either way — it is a roofline, not a measurement
+        // (the L4 in particular throttles FP32 under its 72 W cap).
+        EXPECT_GT(model_b8, paper_b8 / 3) << spec.name;
+        EXPECT_LT(model_b8, paper_b8 * 3) << spec.name;
+    }
+}
+
+TEST(Gpu, FasterGpuIsFaster)
+{
+    auto gpus = table10Gpus();
+    GpuModel t4(gpus[0]), a100(gpus[2]);
+    EXPECT_LT(a100.bertLatencyMs(384, 8), t4.bertLatencyMs(384, 8));
+}
+
+TEST(Gpu, DramTrafficExceedsRsnXnn)
+{
+    // Paper: T4 moves 31 GB vs RSN-XNN's 12 GB (2.6x).
+    GpuModel t4(table10Gpus()[0]);
+    EXPECT_GT(t4.bertDramGb(384, 8), 20.0);
+}
+
+TEST(Gpu, DynamicEfficiencyExceedsOperating)
+{
+    GpuModel l4(table10Gpus()[4]);
+    EXPECT_GT(l4.efficiencySeqPerJ(384, 8, true),
+              l4.efficiencySeqPerJ(384, 8, false));
+}
+
+} // namespace

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "lib/mapping.hh"
+
+namespace {
+
+using namespace rsn::lib;
+
+AttentionWorkload
+bertAttention()
+{
+    return AttentionWorkload{96, 512, 64};
+}
+
+TEST(Mapping, PipelineAvoidsScoreTraffic)
+{
+    PlatformBudget p;
+    auto d = estimateMapping(MappingType::Pipeline, bertAttention(), p);
+    auto a = estimateMapping(MappingType::LayerByLayer, bertAttention(),
+                             p);
+    // A spills + reloads ~100 MB of scores x2; D moves only Q/K/V/ctx.
+    EXPECT_LT(d.traffic_mb, 60.0);
+    EXPECT_GT(a.traffic_mb, 200.0);
+}
+
+TEST(Mapping, SpatialMappingsReachHigherUtilization)
+{
+    PlatformBudget p;
+    auto a = estimateMapping(MappingType::LayerByLayer, bertAttention(),
+                             p);
+    auto d = estimateMapping(MappingType::Pipeline, bertAttention(), p);
+    EXPECT_LT(a.aie_util, d.aie_util);
+    EXPECT_NEAR(a.aie_util, 0.64, 1e-6);
+    EXPECT_NEAR(d.aie_util, 0.96, 1e-6);
+}
+
+TEST(Mapping, TaskGranularMappingsPayTurnaround)
+{
+    PlatformBudget p;
+    auto a = estimateMapping(MappingType::LayerByLayer, bertAttention(),
+                             p);
+    auto b = estimateMapping(MappingType::TaskByTask, bertAttention(),
+                             p);
+    EXPECT_GT(b.inf_flops_ms, a.inf_flops_ms);
+}
+
+TEST(Mapping, FinalIsMaxOfBounds)
+{
+    PlatformBudget p;
+    for (auto t : {MappingType::LayerByLayer, MappingType::TaskByTask,
+                   MappingType::TaskParallel, MappingType::Pipeline}) {
+        auto e = estimateMapping(t, bertAttention(), p);
+        EXPECT_DOUBLE_EQ(e.final_ms,
+                         std::max(e.inf_flops_ms, e.inf_bw_ms));
+    }
+}
+
+TEST(Mapping, PipelineWinsForBertAttention)
+{
+    PlatformBudget p;
+    EXPECT_EQ(bestMapping(bertAttention(), p), MappingType::Pipeline);
+}
+
+TEST(Mapping, OrderingMatchesPaperTable3)
+{
+    // D < A < B == C in final latency.
+    PlatformBudget p;
+    auto a = estimateMapping(MappingType::LayerByLayer, bertAttention(),
+                             p)
+                 .final_ms;
+    auto b = estimateMapping(MappingType::TaskByTask, bertAttention(), p)
+                 .final_ms;
+    auto c = estimateMapping(MappingType::TaskParallel, bertAttention(),
+                             p)
+                 .final_ms;
+    auto d = estimateMapping(MappingType::Pipeline, bertAttention(), p)
+                 .final_ms;
+    EXPECT_LT(d, a);
+    EXPECT_LT(a, b);
+    EXPECT_NEAR(b, c, b * 0.2);
+}
+
+TEST(Mapping, LinearBoundednessMatchesRoofline)
+{
+    PlatformBudget p;
+    // FF1 is compute-bound on the VCK190 budget; a skinny GEMM is not.
+    EXPECT_TRUE(linearIsComputeBound(3072, 1024, 4096, p));
+    EXPECT_FALSE(linearIsComputeBound(512, 64, 512, p));
+}
+
+TEST(Mapping, IntermediateBytesForPipelining)
+{
+    // BERT-Large FF intermediate (3072 x 4096 FP32) exceeds on-chip
+    // capacity -> cannot pipeline FF1/FF2 (Sec. 4.3).
+    EXPECT_GT(pipelineIntermediateBytes(3072, 4096), 25ull << 20);
+    // One attention head's scores fit.
+    EXPECT_LT(pipelineIntermediateBytes(512, 512), 2ull << 20);
+}
+
+TEST(Mapping, NamesAreDistinct)
+{
+    EXPECT_STRNE(mappingName(MappingType::LayerByLayer),
+                 mappingName(MappingType::Pipeline));
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "lib/model.hh"
+
+namespace {
+
+using namespace rsn;
+using namespace rsn::lib;
+
+TEST(Model, BertLargeEncoderStructure)
+{
+    auto m = bertLargeEncoder(6, 512, /*fuse_qkv=*/false, 1);
+    // 3 QKV + attention + dense + ff1 + ff2 = 7 segments.
+    EXPECT_EQ(m.segments.size(), 7u);
+    EXPECT_EQ(m.input_rows, 3072u);
+    EXPECT_EQ(m.input_cols, 1024u);
+
+    const auto &attn = std::get<AttentionBlock>(m.segments[3]);
+    EXPECT_EQ(attn.heads, 96u);
+    EXPECT_EQ(attn.heads_per_batch, 16u);
+    EXPECT_EQ(attn.seq, 512u);
+    EXPECT_EQ(attn.dhead, 64u);
+
+    const auto &ff1 = std::get<LinearLayer>(m.segments[5]);
+    EXPECT_EQ(ff1.n, 4096u);
+    EXPECT_TRUE(ff1.gelu);
+    EXPECT_FALSE(ff1.layernorm);
+
+    const auto &ff2 = std::get<LinearLayer>(m.segments[6]);
+    EXPECT_TRUE(ff2.layernorm);
+    EXPECT_TRUE(ff2.residual);
+    EXPECT_EQ(ff2.residual_src, "L0.dense_out");
+}
+
+TEST(Model, FusedQkvReplacesThreeLinears)
+{
+    auto m = bertLargeEncoder(6, 512, /*fuse_qkv=*/true, 1);
+    EXPECT_EQ(m.segments.size(), 5u);
+    const auto &qkv = std::get<LinearLayer>(m.segments[0]);
+    EXPECT_EQ(qkv.n, 3 * 1024u);
+    const auto &attn = std::get<AttentionBlock>(m.segments[1]);
+    EXPECT_EQ(attn.q_src, attn.k_src);
+    EXPECT_EQ(attn.k_col_off, 1024u);
+    EXPECT_EQ(attn.v_col_off, 2048u);
+}
+
+TEST(Model, MultiLayerEncoderChainsResiduals)
+{
+    auto m = bertLargeEncoder(1, 128, true, 2);
+    EXPECT_EQ(m.segments.size(), 10u);
+    const auto &l1_qkv = std::get<LinearLayer>(m.segments[5]);
+    EXPECT_EQ(l1_qkv.in_src, "L0.encoder_out");
+}
+
+TEST(Model, FlopsAccounting)
+{
+    auto m = bertLargeEncoder(6, 512, true, 1);
+    // MM flops: QKV 3x + dense + 2 FF + attention.
+    std::uint64_t mm = 2ull * 3072 * 1024 * 3072      // fused QKV
+                       + 2ull * 3072 * 1024 * 1024    // dense
+                       + 2ull * 3072 * 1024 * 4096 * 2;
+    std::uint64_t attn = 96ull * (2 * 2ull * 512 * 64 * 512 +
+                                  5ull * 512 * 512);
+    std::uint64_t expected_min = mm + attn;
+    EXPECT_GE(m.totalFlops(), expected_min);
+    // Epilogues add at most a few percent.
+    EXPECT_LE(m.totalFlops(), expected_min * 1.05);
+}
+
+TEST(Model, MinTrafficCountsWeightsOnce)
+{
+    auto m = bertLargeEncoder(1, 512, true, 1);
+    // Weights dominate: 12 * 1024^2 * 4B = 50.3 MB.
+    EXPECT_GT(m.minTrafficBytes(), Bytes(50) * 1024 * 1024);
+}
+
+TEST(Model, VitUsesHidden768)
+{
+    auto m = vitEncoder(6, false, 1);
+    const auto &q = std::get<LinearLayer>(m.segments[0]);
+    EXPECT_EQ(q.k, 768u);
+    const auto &attn = std::get<AttentionBlock>(m.segments[3]);
+    EXPECT_EQ(attn.dhead, 64u);
+    EXPECT_EQ(attn.heads_per_batch, 12u);
+}
+
+TEST(Model, NcfIsAllLinear)
+{
+    auto m = ncf(6);
+    EXPECT_EQ(m.segments.size(), 3u);
+    for (const auto &s : m.segments)
+        EXPECT_TRUE(std::holds_alternative<LinearLayer>(s));
+}
+
+TEST(Model, MlpStacksSquareLayers)
+{
+    auto m = mlp(6);
+    EXPECT_EQ(m.segments.size(), 5u);
+    const auto &l = std::get<LinearLayer>(m.segments[0]);
+    EXPECT_EQ(l.k, 4096u);
+    EXPECT_EQ(l.n, 4096u);
+}
+
+TEST(Model, TinyEncoderRespectsParameters)
+{
+    auto m = tinyEncoder(2, 16, 32, 4, 48, true);
+    EXPECT_EQ(m.input_rows, 32u);
+    EXPECT_EQ(m.input_cols, 32u);
+    const auto &attn = std::get<AttentionBlock>(m.segments[1]);
+    EXPECT_EQ(attn.dhead, 8u);
+    EXPECT_EQ(attn.heads, 8u);
+}
+
+TEST(Model, LinearFlopsIncludeEpilogues)
+{
+    LinearLayer plain;
+    plain.m = plain.k = plain.n = 64;
+    LinearLayer rich = plain;
+    rich.bias = rich.gelu = rich.layernorm = rich.residual = true;
+    EXPECT_GT(rich.flops(), plain.flops());
+}
+
+} // namespace

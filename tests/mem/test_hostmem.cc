@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mem/hostmem.hh"
+
+namespace {
+
+using rsn::Addr;
+using rsn::mem::HostMemory;
+
+TEST(HostMem, AllocReturnsAlignedDisjointRegions)
+{
+    HostMemory m(false);
+    Addr a = m.alloc(100, "a");
+    Addr b = m.alloc(200, "b");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_GE(b, a + 100 * 4);
+    EXPECT_TRUE(m.contains(a));
+    EXPECT_TRUE(m.contains(b));
+    EXPECT_EQ(m.regionName(a), "a");
+    EXPECT_EQ(m.regionName(b + 4), "b");
+}
+
+TEST(HostMem, UnmappedAddressIsNotContained)
+{
+    HostMemory m(false);
+    Addr a = m.alloc(16, "a");
+    EXPECT_FALSE(m.contains(a + 16 * 4));
+    EXPECT_FALSE(m.contains(0));
+}
+
+TEST(HostMem, TimingModeReadsReturnEmpty)
+{
+    HostMemory m(false);
+    Addr a = m.alloc(64, "a");
+    EXPECT_TRUE(m.readBlock(a, 8, 4, 4).empty());
+}
+
+TEST(HostMem, FunctionalWriteThenReadRoundTrips)
+{
+    HostMemory m(true);
+    Addr a = m.alloc(64, "t");  // 8x8 matrix
+    std::vector<float> block = {1, 2, 3, 4, 5, 6};  // 2 rows x 3 cols
+    // Write at row 2, col 1 of an 8-wide matrix: addr + (2*8+1)*4.
+    Addr at = a + (2 * 8 + 1) * 4;
+    m.writeBlock(at, 8, 2, 3, block);
+    auto back = m.readBlock(at, 8, 2, 3);
+    EXPECT_EQ(back, block);
+    // Neighbouring elements stay zero.
+    auto row = m.readBlock(a + 2 * 8 * 4, 8, 1, 8);
+    EXPECT_FLOAT_EQ(row[0], 0.f);
+    EXPECT_FLOAT_EQ(row[1], 1.f);
+    EXPECT_FLOAT_EQ(row[4], 0.f);
+}
+
+TEST(HostMem, FillAndReadRegion)
+{
+    HostMemory m(true);
+    Addr a = m.alloc(16, "r");
+    std::vector<float> vals(16);
+    std::iota(vals.begin(), vals.end(), 0.f);
+    m.fillRegion(a, vals);
+    EXPECT_EQ(m.readRegion(a), vals);
+}
+
+TEST(HostMem, PitchedReadSkipsBetweenRows)
+{
+    HostMemory m(true);
+    Addr a = m.alloc(32, "p");  // 4x8
+    std::vector<float> all(32);
+    std::iota(all.begin(), all.end(), 0.f);
+    m.fillRegion(a, all);
+    auto col01 = m.readBlock(a, 8, 4, 2);
+    EXPECT_EQ(col01, (std::vector<float>{0, 1, 8, 9, 16, 17, 24, 25}));
+}
+
+TEST(HostMem, AllocatedBytesAccumulates)
+{
+    HostMemory m(false);
+    m.alloc(16, "x");
+    auto before = m.allocatedBytes();
+    m.alloc(16, "y");
+    EXPECT_GT(m.allocatedBytes(), before);
+}
+
+} // namespace

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "mem/layout.hh"
+
+namespace {
+
+using rsn::mem::BlockedLayout;
+using rsn::mem::burstsFor;
+using rsn::mem::LayoutKind;
+using rsn::mem::TileAccess;
+using rsn::mem::tileBytes;
+
+TEST(Layout, FullWidthRowMajorIsOneBurst)
+{
+    TileAccess a{1024, 512, 0, 0, 128, 512};
+    EXPECT_EQ(burstsFor(a, LayoutKind::RowMajor), 1u);
+}
+
+TEST(Layout, PartialRowMajorPaysPerRow)
+{
+    TileAccess a{1024, 1024, 0, 0, 768, 128};
+    EXPECT_EQ(burstsFor(a, LayoutKind::RowMajor), 768u);
+}
+
+TEST(Layout, BlockedTilePaysPerBlock)
+{
+    // 768x128 tile over 128x64 blocks: 6 x 2 = 12 blocks.
+    TileAccess a{3072, 1024, 0, 0, 768, 128};
+    EXPECT_EQ(burstsFor(a, LayoutKind::Blocked), 12u);
+}
+
+TEST(Layout, BlockedUnalignedTileTouchesExtraBlocks)
+{
+    // Offset by half a block in each dimension: spans one extra block row
+    // and column.
+    TileAccess a{3072, 1024, 64, 32, 768, 128};
+    EXPECT_EQ(burstsFor(a, LayoutKind::Blocked), 7u * 3u);
+}
+
+TEST(Layout, BlockedBeatsRowMajorForPaperTiles)
+{
+    // The paper's out-stationary LHS tile (768x128 of a 3072x1024 matrix).
+    TileAccess a{3072, 1024, 0, 0, 768, 128};
+    EXPECT_LT(burstsFor(a, LayoutKind::Blocked),
+              burstsFor(a, LayoutKind::RowMajor));
+}
+
+TEST(Layout, EmptyTileHasNoBursts)
+{
+    TileAccess a{1024, 1024, 0, 0, 0, 0};
+    EXPECT_EQ(burstsFor(a, LayoutKind::RowMajor), 0u);
+    EXPECT_EQ(burstsFor(a, LayoutKind::Blocked), 0u);
+}
+
+TEST(Layout, TileBytesCountsFp32)
+{
+    TileAccess a{1024, 1024, 0, 0, 768, 128};
+    EXPECT_EQ(tileBytes(a), 768u * 128u * 4u);
+}
+
+TEST(Layout, CustomBlockShape)
+{
+    BlockedLayout bl{32, 32};
+    TileAccess a{256, 256, 0, 0, 64, 64};
+    EXPECT_EQ(burstsFor(a, LayoutKind::Blocked, bl), 4u);
+}
+
+class LayoutProperty : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(LayoutProperty, BlockedNeverWorseThanPerElementAndCoversTile)
+{
+    auto [rows, cols] = GetParam();
+    TileAccess a{4096, 4096, 128, 64, std::uint32_t(rows),
+                 std::uint32_t(cols)};
+    auto blocked = burstsFor(a, LayoutKind::Blocked);
+    // Sanity bounds: at least 1 burst, at most one per element.
+    EXPECT_GE(blocked, 1u);
+    EXPECT_LE(blocked, std::uint32_t(rows) * cols);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LayoutProperty,
+                         ::testing::Combine(::testing::Values(1, 17, 128,
+                                                              768),
+                                            ::testing::Values(1, 63, 64,
+                                                              1024)));
+
+} // namespace

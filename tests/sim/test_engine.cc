@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hh"
+
+namespace {
+
+using rsn::Tick;
+using rsn::sim::Engine;
+
+TEST(Engine, StartsAtTickZeroAndIdle)
+{
+    Engine e;
+    EXPECT_EQ(e.now(), 0u);
+    EXPECT_TRUE(e.idle());
+    EXPECT_TRUE(e.run());
+}
+
+TEST(Engine, EventsRunInTimeOrder)
+{
+    Engine e;
+    std::vector<int> order;
+    e.schedule(30, [&] { order.push_back(3); });
+    e.schedule(10, [&] { order.push_back(1); });
+    e.schedule(20, [&] { order.push_back(2); });
+    EXPECT_TRUE(e.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(e.now(), 30u);
+}
+
+TEST(Engine, SameTickEventsRunInScheduleOrder)
+{
+    Engine e;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        e.schedule(7, [&order, i] { order.push_back(i); });
+    EXPECT_TRUE(e.run());
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, EventsMayScheduleMoreEvents)
+{
+    Engine e;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 10)
+            e.schedule(5, chain);
+    };
+    e.schedule(0, chain);
+    EXPECT_TRUE(e.run());
+    EXPECT_EQ(count, 10);
+    EXPECT_EQ(e.now(), 45u);
+}
+
+TEST(Engine, RunStopsAtTickLimit)
+{
+    Engine e;
+    bool late = false;
+    e.schedule(100, [&] { late = true; });
+    EXPECT_FALSE(e.run(50));
+    EXPECT_FALSE(late);
+    EXPECT_EQ(e.now(), 50u);
+    // Continuing past the limit executes the event.
+    EXPECT_TRUE(e.run(200));
+    EXPECT_TRUE(late);
+}
+
+TEST(Engine, ZeroDelayRunsAtCurrentTick)
+{
+    Engine e;
+    Tick seen = 12345;
+    e.schedule(42, [&] { e.schedule(0, [&] { seen = e.now(); }); });
+    EXPECT_TRUE(e.run());
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(Engine, EventCountIsTracked)
+{
+    Engine e;
+    for (int i = 0; i < 17; ++i)
+        e.schedule(i, [] {});
+    e.run();
+    EXPECT_EQ(e.eventsProcessed(), 17u);
+}
+
+} // namespace

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * rsn-sim: command-line driver for the RSN simulator.
+ *
+ * Usage:
+ *   rsn-sim [options]
+ *     --model bert|vit|ncf|mlp|tiny   workload (default bert)
+ *     --batch N                       batch size (default 6)
+ *     --seq N                         sequence length (default 512)
+ *     --layers N                      encoder layers (default 1)
+ *     --schedule opt|bw|noopt         optimization level (default opt)
+ *     --no-fuse-qkv                   keep Q/K/V as separate GEMMs
+ *     --bw-scale F                    scale both DRAM channels by F
+ *     --functional                    carry FP32 data and self-check
+ *     --trace FILE                    write a Chrome trace JSON
+ *     --plan                          print the segmentation plan
+ *     --dot                           print the datapath as Graphviz DOT
+ *     --instr                         print instruction statistics
+ *
+ * Examples:
+ *   rsn-sim --model bert --batch 6 --seq 512
+ *   rsn-sim --model bert --schedule noopt --instr
+ *   rsn-sim --model tiny --functional
+ *   rsn-sim --model bert --trace /tmp/rsn.json
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/machine.hh"
+#include "core/power.hh"
+#include "core/tracer.hh"
+#include "lib/codegen.hh"
+#include "lib/model.hh"
+#include "lib/runner.hh"
+#include "lib/segmenter.hh"
+#include "ref/ref_math.hh"
+
+namespace {
+
+struct Options {
+    std::string model = "bert";
+    std::uint32_t batch = 6;
+    std::uint32_t seq = 512;
+    std::uint32_t layers = 1;
+    std::string schedule = "opt";
+    bool fuse_qkv = true;
+    double bw_scale = 1.0;
+    bool functional = false;
+    std::string trace_path;
+    bool print_plan = false;
+    bool print_dot = false;
+    bool print_instr = false;
+};
+
+void
+usage()
+{
+    std::fprintf(stderr, "see the header of tools/rsn_sim.cc for usage\n");
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (a == "--model")
+            o.model = next();
+        else if (a == "--batch")
+            o.batch = std::atoi(next().c_str());
+        else if (a == "--seq")
+            o.seq = std::atoi(next().c_str());
+        else if (a == "--layers")
+            o.layers = std::atoi(next().c_str());
+        else if (a == "--schedule")
+            o.schedule = next();
+        else if (a == "--no-fuse-qkv")
+            o.fuse_qkv = false;
+        else if (a == "--bw-scale")
+            o.bw_scale = std::atof(next().c_str());
+        else if (a == "--functional")
+            o.functional = true;
+        else if (a == "--trace")
+            o.trace_path = next();
+        else if (a == "--plan")
+            o.print_plan = true;
+        else if (a == "--dot")
+            o.print_dot = true;
+        else if (a == "--instr")
+            o.print_instr = true;
+        else
+            usage();
+    }
+    return o;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rsn;
+    Options o = parse(argc, argv);
+
+    lib::Model model;
+    if (o.model == "bert")
+        model = lib::bertLargeEncoder(o.batch, o.seq, o.fuse_qkv,
+                                      o.layers);
+    else if (o.model == "vit")
+        model = lib::vitEncoder(o.batch, o.fuse_qkv, o.layers);
+    else if (o.model == "ncf")
+        model = lib::ncf(o.batch);
+    else if (o.model == "mlp")
+        model = lib::mlp(o.batch);
+    else if (o.model == "tiny")
+        model = lib::tinyEncoder(o.batch, 32, 64, 4, 128, o.fuse_qkv);
+    else
+        usage();
+
+    lib::ScheduleOptions sched;
+    if (o.schedule == "opt")
+        sched = lib::ScheduleOptions::optimized();
+    else if (o.schedule == "bw")
+        sched = lib::ScheduleOptions::bwOptimized();
+    else if (o.schedule == "noopt")
+        sched = lib::ScheduleOptions::noOptimize();
+    else
+        usage();
+
+    auto cfg = core::MachineConfig::vck190(o.functional);
+    if (o.bw_scale != 1.0) {
+        cfg.ddr.read_gbps *= o.bw_scale;
+        cfg.ddr.write_gbps *= o.bw_scale;
+        cfg.lpddr.read_gbps *= o.bw_scale;
+        cfg.lpddr.write_gbps *= o.bw_scale;
+    }
+    core::RsnMachine mach(cfg);
+
+    if (o.print_plan) {
+        lib::Segmenter seg(lib::PlatformBudget{});
+        std::printf("%s\n", seg.plan(model).toString().c_str());
+    }
+    if (o.print_dot)
+        std::printf("%s\n", mach.topology().toDot().c_str());
+
+    auto compiled = lib::compileModel(mach, model, sched);
+    if (o.print_instr) {
+        std::printf("instructions: %zu packets, %llu bytes (uOPs: ",
+                    compiled.program.size(),
+                    (unsigned long long)compiled.program.totalBytes());
+        Bytes uop_bytes = 0;
+        for (int t = 0; t < kNumFuTypes; ++t)
+            uop_bytes += compiled.program.expandedUopBytes(
+                static_cast<FuType>(t));
+        std::printf("%llu bytes, %.1fx compression)\n",
+                    (unsigned long long)uop_bytes,
+                    double(uop_bytes) / compiled.program.totalBytes());
+    }
+
+    if (o.functional)
+        lib::initTensors(mach, compiled, 2025);
+    std::unique_ptr<core::Tracer> tracer;
+    if (!o.trace_path.empty())
+        tracer = std::make_unique<core::Tracer>(mach);
+
+    auto refs = o.functional
+                    ? lib::referenceForward(mach, model, compiled)
+                    : std::map<std::string, ref::Matrix>{};
+
+    auto r = mach.run(compiled.program);
+    if (!r.completed) {
+        std::printf("RUN DID NOT COMPLETE (%s)\n%s\n",
+                    r.deadlocked ? "deadlock" : "timeout",
+                    r.diagnosis.c_str());
+        return 1;
+    }
+
+    std::printf("%s: %u x %u, %s schedule\n", model.name.c_str(),
+                o.batch, o.seq, o.schedule.c_str());
+    std::printf("  latency   : %.3f ms (%llu ticks @ 260 MHz)\n", r.ms,
+                (unsigned long long)r.ticks);
+    std::printf("  compute   : %.2f achieved TFLOPS (peak %.2f)\n",
+                mach.achievedTflops(r), mach.peakTflops());
+    std::printf("  DDR       : %.1f MB read, %.1f MB written (%.0f%% "
+                "busy)\n",
+                mach.ddrChannel().bytesRead() / 1e6,
+                mach.ddrChannel().bytesWritten() / 1e6,
+                100 * mach.ddrChannel().utilization(r.ticks));
+    std::printf("  LPDDR     : %.1f MB read (%.0f%% busy)\n",
+                mach.lpddrChannel().bytesRead() / 1e6,
+                100 * mach.lpddrChannel().utilization(r.ticks));
+    core::PowerModel power;
+    std::printf("  power     : %.1f W operating / %.1f W dynamic\n",
+                power.operatingWatts(mach, r),
+                power.dynamicWatts(mach, r));
+
+    if (o.functional) {
+        bool all_ok = true;
+        for (const auto &[name, expect] : refs) {
+            if (name == "input" || !compiled.hasTensor(name))
+                continue;
+            auto got = lib::readTensor(mach, compiled, name);
+            all_ok &= ref::allclose(got, expect, 2e-3f, 2e-3f);
+        }
+        std::printf("  functional: %s\n",
+                    all_ok ? "all tensors match the FP32 reference"
+                           : "MISMATCH");
+        if (!all_ok)
+            return 1;
+    }
+    if (tracer) {
+        if (tracer->writeChromeJson(o.trace_path))
+            std::printf("  trace     : %s (%zu slices; open in "
+                        "chrome://tracing)\n",
+                        o.trace_path.c_str(), tracer->slices().size());
+        else
+            std::printf("  trace     : FAILED to write %s\n",
+                        o.trace_path.c_str());
+    }
+    return 0;
+}

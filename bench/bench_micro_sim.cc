@@ -8,6 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <vector>
 
 #include "sim/channel.hh"
@@ -15,8 +18,54 @@
 #include "sim/stream.hh"
 #include "sim/task.hh"
 
+// Global allocation counter so benchmarks can report allocs/event on the
+// dispatch paths (the engine's allocation-free invariant, engine.hh).
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}
+
+void *
+operator new(std::size_t n)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return operator new(n);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
 namespace {
 
+using rsn::Tick;
 using rsn::sim::Channel;
 using rsn::sim::Engine;
 using rsn::sim::makeChunk;
@@ -36,6 +85,110 @@ BM_EngineEventDispatch(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EngineEventDispatch)->Arg(1000)->Arg(100000);
+
+Task
+delayLoop(Engine &e, int n)
+{
+    for (int i = 0; i < n; ++i)
+        co_await e.delay(1);
+}
+
+/** Coroutine-resume-only dispatch: the engine fast path, nothing but a
+ *  suspended coroutine hopping one tick at a time. Reports allocs/event
+ *  after warmup (must be ~0, pinned by test_engine_alloc.cc). */
+void
+BM_CoroResumeDispatch(benchmark::State &state)
+{
+    std::uint64_t allocs = 0;
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        Engine e;
+        Task t = delayLoop(e, int(state.range(0)));
+        e.run(64);  // warmup: arena/wheel growth happens here
+        std::uint64_t warm = e.eventsProcessed();
+        std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+        e.run();
+        allocs += g_allocs.load(std::memory_order_relaxed) - before;
+        events += e.eventsProcessed() - warm;
+        benchmark::DoNotOptimize(t.done());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+    state.counters["allocs_per_event"] =
+        events ? double(allocs) / double(events) : 0.0;
+}
+BENCHMARK(BM_CoroResumeDispatch)->Arg(1000)->Arg(100000);
+
+/** Same-tick burst: n events on one tick, the per-tick FIFO batch path. */
+void
+BM_SameTickBurst(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Engine e;
+        for (int i = 0; i < state.range(0); ++i)
+            e.scheduleAt(1, [] {});
+        e.run();
+        benchmark::DoNotOptimize(e.eventsProcessed());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SameTickBurst)->Arg(10000);
+
+struct ZeroDelayChain {
+    Engine *e;
+    long *remaining;
+    void
+    operator()() const
+    {
+        if (--*remaining > 0)
+            e->schedule(0, *this);
+    }
+};
+
+/** Zero-delay self-rescheduling chain: every event appends to the batch
+ *  being drained via the now-queue fast path. */
+void
+BM_ZeroDelayNowQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Engine e;
+        long remaining = state.range(0);
+        e.schedule(0, ZeroDelayChain{&e, &remaining});
+        e.run();
+        benchmark::DoNotOptimize(remaining);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ZeroDelayNowQueue)->Arg(10000);
+
+Task
+parkedCoro()
+{
+    struct Park {
+        bool await_ready() const noexcept { return false; }
+        void await_suspend(std::coroutine_handle<>) const noexcept {}
+        void await_resume() const noexcept {}
+    };
+    co_await Park{};
+}
+
+/** Same-tick burst of raw coroutine resumes enqueued via Task::handle(). */
+void
+BM_CoroSameTickBurst(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Engine e;
+        std::vector<Task> tasks;
+        tasks.reserve(state.range(0));
+        for (int i = 0; i < state.range(0); ++i) {
+            tasks.push_back(parkedCoro());
+            e.resumeAt(1, tasks.back().handle());
+        }
+        e.run();
+        benchmark::DoNotOptimize(e.eventsProcessed());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CoroSameTickBurst)->Arg(10000);
 
 Task
 pingSender(Channel<int> &ch, int n)

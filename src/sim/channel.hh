@@ -12,19 +12,21 @@
  * exactly one waiting receiver is woken and that item is reserved for it, so
  * a later receiver arriving before the wakeup fires cannot steal it (and
  * symmetrically for freed slots and waiting senders). This keeps the channel
- * strictly FIFO and deterministic.
+ * strictly FIFO and deterministic. Wakeups enqueue the waiter's coroutine
+ * handle directly on the engine's now-queue (Engine::resumeNow) — no
+ * lambda trampoline, no allocation.
  */
 
 #ifndef RSN_SIM_CHANNEL_HH
 #define RSN_SIM_CHANNEL_HH
 
 #include <coroutine>
-#include <deque>
 #include <string>
 #include <utility>
 
 #include "common/log.hh"
 #include "sim/engine.hh"
+#include "sim/ring.hh"
 
 namespace rsn::sim {
 
@@ -124,10 +126,9 @@ class Channel
     {
         if (recv_waiters_.empty())
             return;
-        auto h = recv_waiters_.front();
-        recv_waiters_.pop_front();
+        auto h = recv_waiters_.pop_front();
         ++reserved_pops_;
-        eng_.resumeAfter(0, h);
+        eng_.resumeNow(h);
     }
 
     void
@@ -135,10 +136,9 @@ class Channel
     {
         if (send_waiters_.empty())
             return;
-        auto h = send_waiters_.front();
-        send_waiters_.pop_front();
+        auto h = send_waiters_.pop_front();
         ++reserved_pushes_;
-        eng_.resumeAfter(0, h);
+        eng_.resumeNow(h);
     }
 
     struct SendAwaiter {
@@ -191,9 +191,9 @@ class Channel
     Engine &eng_;
     std::size_t cap_;
     std::string name_;
-    std::deque<T> q_;
-    std::deque<std::coroutine_handle<>> send_waiters_;
-    std::deque<std::coroutine_handle<>> recv_waiters_;
+    Ring<T> q_;
+    Ring<std::coroutine_handle<>> send_waiters_;
+    Ring<std::coroutine_handle<>> recv_waiters_;
     std::size_t reserved_pops_ = 0;
     std::size_t reserved_pushes_ = 0;
     std::uint64_t total_pushed_ = 0;

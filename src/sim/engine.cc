@@ -1,51 +1,168 @@
 #include "sim/engine.hh"
 
-#include "common/log.hh"
+#include <algorithm>
 
 namespace rsn::sim {
 
+/**
+ * Redistribute every event of wheel bucket (lvl, bi) to its proper level
+ * relative to the (just advanced) wheel base. Events near the base drop
+ * several levels at once — e.g. the first 256 ticks of a level-2 segment
+ * belong directly in level 0. List order is preserved, which preserves
+ * same-tick FIFO order.
+ */
 void
-Engine::schedule(Tick delay, std::function<void()> fn)
+Engine::cascade(int lvl, std::uint32_t bi)
 {
-    scheduleAt(now_ + delay, std::move(fn));
+    Level &l = wheel_[lvl];
+    Bucket b = l.b[bi];
+    l.b[bi] = Bucket{};
+    l.occupied[bi >> 6] &= ~(std::uint64_t(1) << (bi & 63));
+    for (std::uint32_t i = b.head; i != kNil;) {
+        std::uint32_t nxt = arena_[i].next;
+        arena_[i].next = kNil;
+        Tick when = arena_[i].when;
+        int lv = levelFor(when ^ base_);
+        appendBucket(lv, (when >> (kLevelBits * lv)) & kBucketMask, i);
+        i = nxt;
+    }
 }
 
-void
-Engine::scheduleAt(Tick when, std::function<void()> fn)
+/**
+ * Find the tick of the next pending batch, cascading wheel levels and
+ * migrating overflow segments as the search advances — but never past a
+ * segment floor beyond @p max_ticks, so an aborted run leaves the wheel
+ * base at or below the clamped now(). Returns kTickMax when no events are
+ * pending; a return value > max_ticks may be a lower bound rather than an
+ * exact tick.
+ */
+Tick
+Engine::nextEventTick(Tick max_ticks)
 {
-    rsn_assert(when >= now_, "scheduling into the past");
-    queue_.push(Event{when, next_seq_++, std::move(fn)});
-}
+    for (;;) {
+        int i = findNextSet(wheel_[0].occupied,
+                            std::uint32_t(base_ & kBucketMask));
+        if (i >= 0)
+            return (base_ & ~kBucketMask) | Tick(i);
 
-void
-Engine::resumeAt(Tick when, std::coroutine_handle<> h)
-{
-    scheduleAt(when, [h] { h.resume(); });
-}
+        int lvl = 1;
+        for (; lvl < kLevels; ++lvl) {
+            int shift = kLevelBits * lvl;
+            int j = findNextSet(
+                wheel_[lvl].occupied,
+                std::uint32_t((base_ >> shift) & kBucketMask) + 1);
+            if (j < 0)
+                continue;
+            Tick seg = base_ >> (shift + kLevelBits) << (shift + kLevelBits);
+            Tick floor = seg | (Tick(j) << shift);
+            if (floor > max_ticks)
+                return floor;  // beyond the limit: do not enter the segment
+            base_ = floor;
+            cascade(lvl, std::uint32_t(j));
+            break;
+        }
+        if (lvl < kLevels)
+            continue;  // cascaded one level; rescan from level 0
 
-void
-Engine::resumeAfter(Tick delay, std::coroutine_handle<> h)
-{
-    resumeAt(now_ + delay, h);
+        // Wheel exhausted: migrate the next overflow super-segment.
+        if (tick_heap_.empty())
+            return kTickMax;
+        Tick t0 = tick_heap_.front();
+        constexpr int kSpanBits = kLevelBits * kLevels;
+        Tick floor = t0 >> kSpanBits << kSpanBits;
+        if (floor > max_ticks)
+            return t0;  // exact: heap min is the next pending tick
+        base_ = floor;
+        while (!tick_heap_.empty() &&
+               (tick_heap_.front() >> kSpanBits) == (t0 >> kSpanBits)) {
+            Tick t = tick_heap_.front();
+            std::pop_heap(tick_heap_.begin(), tick_heap_.end(),
+                          std::greater<>{});
+            tick_heap_.pop_back();
+            TickIndex::Entry e = batches_.take(t);
+            int lv = levelFor(t ^ base_);
+            for (std::uint32_t s = e.head; s != kNil;) {
+                std::uint32_t nxt = arena_[s].next;
+                arena_[s].next = kNil;
+                appendBucket(lv, (t >> (kLevelBits * lv)) & kBucketMask, s);
+                s = nxt;
+            }
+        }
+    }
 }
 
 bool
 Engine::run(Tick max_ticks)
 {
-    while (!queue_.empty()) {
-        if (queue_.top().when > max_ticks) {
-            now_ = max_ticks;
-            return false;
+    while (true) {
+        if (active_head_ == kNil) {
+            draining_ = false;
+            Tick t = nextEventTick(max_ticks);
+            if (t == kTickMax)
+                return true;
+            if (t > max_ticks) {
+                // Clamp forward only: a limit in the past must not rewind
+                // time (tick-limit contract in engine.hh).
+                if (max_ticks > now_)
+                    now_ = max_ticks;
+                return false;
+            }
+            std::uint32_t bi = std::uint32_t(t & kBucketMask);
+            Bucket batch = wheel_[0].b[bi];
+            wheel_[0].b[bi] = Bucket{};
+            wheel_[0].occupied[bi >> 6] &=
+                ~(std::uint64_t(1) << (bi & 63));
+            now_ = base_ = t;
+            active_head_ = batch.head;
+            active_tail_ = batch.tail;
+            draining_ = true;
         }
-        // Move the event out before popping so the callback may schedule
-        // further events without invalidating references.
-        Event ev = queue_.top();
-        queue_.pop();
-        now_ = ev.when;
+        std::uint32_t cur = active_head_;
+        --pending_;
         ++events_processed_;
-        ev.fn();
+        Slot &s = arena_[cur];
+        if (s.kind == Kind::Coro) {
+            // Fast path: nothing to copy or destroy, just resume.
+            std::coroutine_handle<> h = s.u.coro;
+            h.resume();
+        } else {
+            // The callback may schedule and grow the arena, invalidating
+            // references into it; fire a stack copy of the POD slot.
+            Slot local = s;
+            local.invoke(local);
+            if (local.kind == Kind::Heap)
+                local.cleanup(local);
+        }
+        // Re-read after dispatch: the event may have extended its own
+        // batch through the now-queue fast path. Only then may the slot
+        // be threaded onto the free list (which reuses `next`).
+        std::uint32_t nxt = arena_[cur].next;
+        arena_[cur].next = free_head_;
+        free_head_ = cur;
+        active_head_ = nxt;
     }
-    return true;
+}
+
+Engine::~Engine()
+{
+    // Pending heap-path callables own memory; coroutine frames are owned
+    // by their Task wrappers, never by the engine.
+    for (const Level &l : wheel_)
+        for (const Bucket &b : l.b)
+            releaseList(b.head);
+    batches_.forEach(
+        [this](const TickIndex::Entry &e) { releaseList(e.head); });
+    releaseList(active_head_);  // non-kNil only if run() aborted mid-batch
+}
+
+void
+Engine::releaseList(std::uint32_t head)
+{
+    for (std::uint32_t i = head; i != kNil; i = arena_[i].next) {
+        Slot &s = arena_[i];
+        if (s.kind == Kind::Heap)
+            s.cleanup(s);
+    }
 }
 
 } // namespace rsn::sim

@@ -2,22 +2,80 @@
  * @file
  * Discrete-event simulation engine. Time is measured in PL clock ticks.
  *
- * The engine owns a priority queue of (tick, sequence, callback) events.
- * Coroutine awaitables (Delay, channels, streams) schedule their resumption
- * through it. Events at the same tick run in FIFO order of scheduling, which
- * makes simulations fully deterministic.
+ * ## Event slots
+ *
+ * Events live in POD slots inside a recycling arena. Each slot carries a
+ * tagged union: a bare `std::coroutine_handle<>` (the fast path — resuming
+ * a suspended coroutine is the dominant event in every simulation) or a
+ * small-buffer-optimized callable (the `schedule()` fallback). Slots at
+ * the same tick form an intrusive FIFO list through their `next` index.
+ *
+ * ## Two-level queue: hierarchical timing wheel + overflow heap
+ *
+ * Pending ticks are organized as a 4-level timing wheel (256 buckets per
+ * level, so level L buckets span 256^L ticks) aligned to the wheel base.
+ * Scheduling appends to the bucket whose level is the highest byte in
+ * which the target tick differs from the base — O(1) with a bitmap of
+ * occupied buckets per level. As time advances into a higher-level
+ * bucket's segment, that bucket cascades its events one level down (each
+ * event moves at most 3 times). A level-0 bucket holds exactly one tick,
+ * so its intrusive list *is* the tick's FIFO batch. Ticks beyond the
+ * base's 2^32-aligned super-segment (crossed once per ~16 simulated
+ * seconds at 260 MHz, whatever the delta) overflow into a min-heap of
+ * distinct ticks plus a flat hash index (TickIndex) and migrate into
+ * the wheel segment-by-segment.
+ * A "now-queue" fast path appends zero-delay events directly to the batch
+ * currently being drained, which is how channel/stream wakeups
+ * (`resumeNow`) bypass the wheel entirely.
+ *
+ * ## Allocation-free invariant
+ *
+ * In steady state the schedule/dispatch path performs **zero heap
+ * allocations**: slots are recycled through a free list, the wheel is
+ * fixed-size inline storage, and coroutine resumption stores nothing but
+ * the handle. The only allocating paths are (a) one-time growth of the
+ * arena / free list, amortized away after warmup, and (b) `schedule()`
+ * callables that are too large or not trivially copyable for the inline
+ * buffer, which fall back to the heap (`std::function` lands there).
+ *
+ * ## Ordering contract
+ *
+ * Events at the same tick run in FIFO order of scheduling — including
+ * events scheduled *at the current tick during dispatch*, which run after
+ * everything already queued for that tick. Cascades preserve intra-bucket
+ * list order and segments are aligned, so an event can never be scheduled
+ * into a same-tick bucket "ahead of" an earlier event still waiting at a
+ * higher level. This makes simulations fully deterministic and is pinned
+ * by tests/sim/test_engine_stress.cc against a reference
+ * single-priority-queue engine with (tick, sequence) ordering.
+ *
+ * ## Tick-limit contract (run)
+ *
+ * `run(max_ticks)` executes batches whose tick is <= max_ticks. If the
+ * next pending event lies beyond the limit, run() returns false and
+ * leaves `now()` at max(now(), max_ticks): a limit in the past never
+ * rewinds time. If the queue drains, run() returns true and `now()`
+ * stays at the tick of the last executed event. Ticks must be < kTickMax,
+ * which is reserved as the "no limit" sentinel.
  */
 
 #ifndef RSN_SIM_ENGINE_HH
 #define RSN_SIM_ENGINE_HH
 
+#include <array>
+#include <bit>
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
+#include "sim/tick_index.hh"
 
 namespace rsn::sim {
 
@@ -25,7 +83,13 @@ namespace rsn::sim {
 class Engine
 {
   public:
+    /** Inline slot storage for schedule() callables; larger or
+     *  non-trivially-copyable ones fall back to the heap. Sized so a Slot
+     *  is exactly one cache line. */
+    static constexpr std::size_t kInlineFnSize = 32;
+
     Engine() = default;
+    ~Engine();
     Engine(const Engine &) = delete;
     Engine &operator=(const Engine &) = delete;
 
@@ -33,19 +97,79 @@ class Engine
     Tick now() const { return now_; }
 
     /** Schedule @p fn to run @p delay ticks from now. */
-    void schedule(Tick delay, std::function<void()> fn);
+    template <typename F>
+    void
+    schedule(Tick delay, F &&fn)
+    {
+        scheduleAt(now_ + delay, std::forward<F>(fn));
+    }
 
     /** Schedule @p fn at absolute tick @p when (>= now). */
-    void scheduleAt(Tick when, std::function<void()> fn);
+    template <typename F>
+    void
+    scheduleAt(Tick when, F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        Slot &s = slotFor(when);
+        if constexpr (sizeof(Fn) <= kInlineFnSize &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_trivially_copyable_v<Fn>) {
+            ::new (static_cast<void *>(s.u.fn)) Fn(std::forward<F>(fn));
+            s.invoke = [](Slot &sl) {
+                (*std::launder(reinterpret_cast<Fn *>(sl.u.fn)))();
+            };
+            s.kind = Kind::Inline;
+        } else {
+            s.u.heap = new Fn(std::forward<F>(fn));
+            s.invoke = [](Slot &sl) { (*static_cast<Fn *>(sl.u.heap))(); };
+            s.cleanup = [](Slot &sl) { delete static_cast<Fn *>(sl.u.heap); };
+            s.kind = Kind::Heap;
+        }
+    }
 
     /** Schedule resumption of a coroutine at absolute tick @p when. */
-    void resumeAt(Tick when, std::coroutine_handle<> h);
+    void
+    resumeAt(Tick when, std::coroutine_handle<> h)
+    {
+        Slot &s = slotFor(when);
+        s.u.coro = h;
+        s.kind = Kind::Coro;
+    }
 
     /** Schedule resumption of a coroutine @p delay ticks from now. */
-    void resumeAfter(Tick delay, std::coroutine_handle<> h);
+    void
+    resumeAfter(Tick delay, std::coroutine_handle<> h)
+    {
+        resumeAt(now_ + delay, h);
+    }
+
+    /**
+     * Resume @p h at the current tick, after all events already queued for
+     * it (same-tick FIFO). This is the zero-delay now-queue fast path used
+     * by channel/stream wakeups: during dispatch it is a single append to
+     * the draining batch, with no wheel or heap traffic.
+     */
+    void
+    resumeNow(std::coroutine_handle<> h)
+    {
+        if (!draining_) {
+            resumeAt(now_, h);
+            return;
+        }
+        std::uint32_t idx = grabSlot();
+        Slot &s = arena_[idx];
+        s.u.coro = h;
+        s.when = now_;
+        s.next = kNil;
+        s.kind = Kind::Coro;
+        ++pending_;
+        arena_[active_tail_].next = idx;
+        active_tail_ = idx;
+    }
 
     /**
      * Run events until the queue is empty or @p max_ticks is reached.
+     * See the tick-limit contract in the file comment.
      *
      * @return true if the queue drained (simulation quiesced), false if the
      *         tick limit stopped execution first.
@@ -55,8 +179,11 @@ class Engine
     /** Number of events processed so far (for stats / microbenchmarks). */
     std::uint64_t eventsProcessed() const { return events_processed_; }
 
+    /** Number of events scheduled but not yet dispatched. */
+    std::uint64_t pendingEvents() const { return pending_; }
+
     /** True if no events are pending. */
-    bool idle() const { return queue_.empty(); }
+    bool idle() const { return pending_ == 0; }
 
     /**
      * Awaitable that suspends the current coroutine for @p delay ticks.
@@ -68,19 +195,152 @@ class Engine
     auto delayUntil(Tick when);
 
   private:
-    struct Event {
-        Tick when;
-        std::uint64_t seq;
-        std::function<void()> fn;
-        bool operator>(const Event &o) const
-        {
-            return when != o.when ? when > o.when : seq > o.seq;
-        }
+    enum class Kind : std::uint8_t {
+        Coro,    ///< Resume u.coro; nothing to destroy.
+        Inline,  ///< Trivially-copyable callable constructed in u.fn.
+        Heap,    ///< u.heap owns a callable; cleanup() deletes it.
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    /** POD event slot; see file comment. Trivially copyable so the arena
+     *  can grow by memcpy and dispatch can fire a stack copy. */
+    struct Slot {
+        union Payload {
+            // coroutine_handle's default ctor is non-trivial; leave the
+            // union uninitialized until a schedule/resume call fills it.
+            Payload() {}
+            std::coroutine_handle<> coro;
+            alignas(std::max_align_t) std::byte fn[kInlineFnSize];
+            void *heap;
+        } u;
+        void (*invoke)(Slot &);   ///< Unused on the coroutine fast path.
+        void (*cleanup)(Slot &);  ///< Valid only when kind == Kind::Heap.
+        Tick when;                ///< Target tick (needed by cascades).
+        std::uint32_t next;       ///< Next slot in the same-tick FIFO.
+        Kind kind;
+    };
+    static_assert(std::is_trivially_copyable_v<Slot>);
+    static_assert(sizeof(Slot) <= 64, "Slot must stay one cache line");
+
+    static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+    static constexpr int kLevels = 4;
+    static constexpr int kLevelBits = 8;
+    static constexpr std::uint32_t kBucketsPerLevel = 1u << kLevelBits;
+    static constexpr Tick kBucketMask = kBucketsPerLevel - 1;
+
+    struct Bucket {
+        std::uint32_t head = kNil;
+        std::uint32_t tail = kNil;
+    };
+    struct Level {
+        std::array<Bucket, kBucketsPerLevel> b{};
+        std::array<std::uint64_t, kBucketsPerLevel / 64> occupied{};
+    };
+
+    /** Wheel level holding tick @p when, given x = when ^ base_:
+     *  the highest differing byte; >= kLevels means overflow. */
+    static int
+    levelFor(Tick x)
+    {
+        return (std::bit_width(x | 1) - 1) >> 3;
+    }
+
+    void
+    appendBucket(int lvl, std::uint32_t bi, std::uint32_t idx)
+    {
+        Level &l = wheel_[lvl];
+        Bucket &b = l.b[bi];
+        if (b.head == kNil) {
+            b.head = b.tail = idx;
+            l.occupied[bi >> 6] |= std::uint64_t(1) << (bi & 63);
+        } else {
+            arena_[b.tail].next = idx;
+            b.tail = idx;
+        }
+    }
+
+    /** Pop a slot off the intrusive free list, or grow the arena. */
+    std::uint32_t
+    grabSlot()
+    {
+        if (free_head_ != kNil) {
+            std::uint32_t idx = free_head_;
+            free_head_ = arena_[idx].next;
+            return idx;
+        }
+        arena_.emplace_back();
+        return static_cast<std::uint32_t>(arena_.size() - 1);
+    }
+
+    /** Pop a recycled slot (or grow the arena), link it into the batch for
+     *  @p when, and return it for payload fill-in. */
+    Slot &
+    slotFor(Tick when)
+    {
+        rsn_assert(when >= now_, "scheduling into the past");
+        std::uint32_t idx = grabSlot();
+        Slot &s = arena_[idx];
+        s.when = when;
+        s.next = kNil;
+        ++pending_;
+        if (when == now_ && draining_) {
+            // Now-queue fast path: extend the batch being dispatched.
+            arena_[active_tail_].next = idx;
+            active_tail_ = idx;
+            return s;
+        }
+        int lvl = levelFor(when ^ base_);
+        if (lvl < kLevels) {
+            appendBucket(lvl, (when >> (kLevelBits * lvl)) & kBucketMask,
+                         idx);
+            return s;
+        }
+        // Overflow: distinct-tick min-heap + flat index.
+        auto [entry, fresh] = batches_.findOrInsert(when);
+        if (fresh) {
+            tick_heap_.push_back(when);
+            std::push_heap(tick_heap_.begin(), tick_heap_.end(),
+                           std::greater<>{});
+            entry.head = idx;
+        } else {
+            arena_[entry.tail].next = idx;
+        }
+        entry.tail = idx;
+        return s;
+    }
+
+    /** Next occupied bucket index >= @p from, or -1. */
+    static int
+    findNextSet(const std::array<std::uint64_t, kBucketsPerLevel / 64> &bm,
+                std::uint32_t from)
+    {
+        if (from >= kBucketsPerLevel)
+            return -1;
+        std::uint32_t w = from >> 6;
+        std::uint64_t word = bm[w] & (~std::uint64_t(0) << (from & 63));
+        for (;;) {
+            if (word)
+                return int(w * 64 + std::countr_zero(word));
+            if (++w == bm.size())
+                return -1;
+            word = bm[w];
+        }
+    }
+
+    Tick nextEventTick(Tick max_ticks);
+    void cascade(int lvl, std::uint32_t bi);
+    void releaseList(std::uint32_t head);
+
+    std::vector<Slot> arena_;
+    std::uint32_t free_head_ = kNil;  ///< Intrusive free list via Slot::next.
+    std::array<Level, kLevels> wheel_{};
+    std::vector<Tick> tick_heap_;  ///< Min-heap over distinct overflow ticks.
+    TickIndex batches_;            ///< Overflow tick -> batch head/tail.
+    std::uint32_t active_head_ = kNil;  ///< Batch being drained by run().
+    std::uint32_t active_tail_ = kNil;
+    bool draining_ = false;
     Tick now_ = 0;
-    std::uint64_t next_seq_ = 0;
+    Tick base_ = 0;  ///< Wheel alignment base; base_ <= now() between runs.
+    std::uint64_t pending_ = 0;
     std::uint64_t events_processed_ = 0;
 };
 

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ring: a power-of-two FIFO ring buffer with amortized O(1) push/pop.
+ *
+ * Replacement for std::deque on the sim hot paths (channel payloads,
+ * blocked-waiter queues): a deque pays block-map indexing on every access,
+ * while the ring is a single masked index into contiguous storage that is
+ * recycled in place — after warmup, pushes and pops never allocate.
+ *
+ * T must be default-constructible and movable; slots hold moved-from
+ * values after a pop, which for the sim's payload types (ints, coroutine
+ * handles, Chunks) is free.
+ */
+
+#ifndef RSN_SIM_RING_HH
+#define RSN_SIM_RING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace rsn::sim {
+
+template <typename T>
+class Ring
+{
+  public:
+    bool empty() const { return head_ == tail_; }
+    std::size_t size() const { return tail_ - head_; }
+
+    T &front()
+    {
+        rsn_assert(!empty(), "ring underflow");
+        return buf_[head_ & mask()];
+    }
+
+    void
+    push_back(T v)
+    {
+        if (size() == buf_.size())
+            grow();
+        buf_[tail_++ & mask()] = std::move(v);
+    }
+
+    T
+    pop_front()
+    {
+        rsn_assert(!empty(), "ring underflow");
+        return std::move(buf_[head_++ & mask()]);
+    }
+
+  private:
+    std::size_t mask() const { return buf_.size() - 1; }
+
+    void
+    grow()
+    {
+        std::vector<T> bigger(buf_.empty() ? kMinCapacity : buf_.size() * 2);
+        std::size_t n = size();
+        for (std::size_t i = 0; i < n; ++i)
+            bigger[i] = std::move(buf_[(head_ + i) & mask()]);
+        buf_.swap(bigger);
+        head_ = 0;
+        tail_ = n;
+    }
+
+    static constexpr std::size_t kMinCapacity = 8;  // power of two
+
+    std::vector<T> buf_;
+    std::uint64_t head_ = 0;  ///< Free-running; index = head_ & mask().
+    std::uint64_t tail_ = 0;
+};
+
+} // namespace rsn::sim
+
+#endif // RSN_SIM_RING_HH

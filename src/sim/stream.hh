@@ -6,19 +6,20 @@
  * semantics (FIFO, back-pressure) it models *link occupancy*: a chunk of B
  * bytes occupies the link for ceil(B / width) ticks, and transfers serialize
  * on the link. A full downstream FIFO back-pressures the link: the transfer
- * does not start until a slot is reserved.
+ * does not start until a slot is reserved. Like Channel, wakeups enqueue
+ * the waiter's coroutine handle directly on the engine's now-queue.
  */
 
 #ifndef RSN_SIM_STREAM_HH
 #define RSN_SIM_STREAM_HH
 
 #include <coroutine>
-#include <deque>
 #include <string>
 
 #include "common/log.hh"
 #include "sim/chunk.hh"
 #include "sim/engine.hh"
+#include "sim/ring.hh"
 #include "sim/task.hh"
 
 namespace rsn::sim {
@@ -112,10 +113,9 @@ class Stream
     {
         if (recv_waiters_.empty())
             return;
-        auto h = recv_waiters_.front();
-        recv_waiters_.pop_front();
+        auto h = recv_waiters_.pop_front();
         ++reserved_pops_;
-        eng_.resumeAfter(0, h);
+        eng_.resumeNow(h);
     }
 
     void
@@ -123,10 +123,9 @@ class Stream
     {
         if (send_waiters_.empty())
             return;
-        auto h = send_waiters_.front();
-        send_waiters_.pop_front();
+        auto h = send_waiters_.pop_front();
         ++reserved_slots_;
-        eng_.resumeAfter(0, h);
+        eng_.resumeNow(h);
     }
 
     /** Awaits a free FIFO slot and claims it (as in-flight). */
@@ -187,9 +186,9 @@ class Stream
     std::size_t cap_;
     std::string name_;
 
-    std::deque<Chunk> q_;
-    std::deque<std::coroutine_handle<>> send_waiters_;
-    std::deque<std::coroutine_handle<>> recv_waiters_;
+    Ring<Chunk> q_;
+    Ring<std::coroutine_handle<>> send_waiters_;
+    Ring<std::coroutine_handle<>> recv_waiters_;
     std::size_t in_flight_ = 0;
     std::size_t reserved_pops_ = 0;
     std::size_t reserved_slots_ = 0;

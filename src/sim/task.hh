@@ -13,6 +13,12 @@
  * its destructor. Never destroy a Task whose coroutine might still be resumed
  * by the engine; the simulator guarantees this by destroying FUs (and their
  * tasks) only after Engine::run has returned.
+ *
+ * Completion hand-off uses symmetric transfer (FinalAwaiter returns the
+ * parent's handle), so awaiting a child never round-trips through the
+ * engine's event queue. When engine-timed resumption *is* wanted, pass
+ * handle() to Engine::resumeAt/resumeNow directly — the engine stores raw
+ * coroutine handles in POD event slots, so no wrapper lambda is needed.
  */
 
 #ifndef RSN_SIM_TASK_HH
@@ -80,6 +86,13 @@ class [[nodiscard]] Task
     /** True when the coroutine ran to completion (or is empty). */
     bool done() const { return !h_ || h_.done(); }
 
+    /**
+     * The raw coroutine handle (null for an empty task). Lets callers
+     * enqueue the suspended coroutine on the engine directly
+     * (e.g. `eng.resumeNow(t.handle())`); ownership stays with the Task.
+     */
+    std::coroutine_handle<> handle() const noexcept { return h_; }
+
     /** Destroy the owned coroutine frame (must not be live in the engine). */
     void reset()
     {
@@ -145,6 +158,9 @@ class [[nodiscard]] ValueTask
     ~ValueTask() { reset(); }
 
     bool done() const { return !h_ || h_.done(); }
+
+    /** The raw coroutine handle (null for an empty task); see Task. */
+    std::coroutine_handle<> handle() const noexcept { return h_; }
 
     void reset()
     {

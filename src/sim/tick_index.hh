@@ -1,0 +1,134 @@
+/**
+ * @file
+ * TickIndex: flat open-addressing map from tick to per-tick event batch.
+ *
+ * Supports the Engine's two-level event queue: one entry per distinct
+ * pending tick, holding the head/tail slot indices of that tick's FIFO
+ * batch. Linear probing with backward-shift deletion keeps lookups to one
+ * probe chain without tombstones, and — crucially for the engine's
+ * allocation-free dispatch invariant — the table only allocates when it
+ * grows, so a steady-state simulation schedules and drains events without
+ * touching the heap.
+ */
+
+#ifndef RSN_SIM_TICK_INDEX_HH
+#define RSN_SIM_TICK_INDEX_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace rsn::sim {
+
+class TickIndex
+{
+  public:
+    struct Entry {
+        Tick key = kTickMax;     ///< kTickMax marks an empty bucket.
+        std::uint32_t head = 0;  ///< First slot of the tick's batch.
+        std::uint32_t tail = 0;  ///< Last slot of the tick's batch.
+    };
+
+    TickIndex() : buckets_(kMinBuckets) {}
+
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    /**
+     * Find the entry for @p key, inserting an empty one if absent.
+     *
+     * @return the entry and whether it was inserted. The reference is
+     *         valid only until the next findOrInsert (which may grow the
+     *         table).
+     */
+    std::pair<Entry &, bool>
+    findOrInsert(Tick key)
+    {
+        rsn_assert(key != kTickMax, "tick kTickMax is reserved");
+        if ((count_ + 1) * 4 > buckets_.size() * 3)
+            grow();
+        std::size_t i = ideal(key);
+        while (buckets_[i].key != kTickMax) {
+            if (buckets_[i].key == key)
+                return {buckets_[i], false};
+            i = next(i);
+        }
+        buckets_[i].key = key;
+        ++count_;
+        return {buckets_[i], true};
+    }
+
+    /** Remove and return the entry for @p key (which must exist). */
+    Entry
+    take(Tick key)
+    {
+        std::size_t i = ideal(key);
+        while (buckets_[i].key != key) {
+            rsn_assert(buckets_[i].key != kTickMax, "tick not in index");
+            i = next(i);
+        }
+        Entry out = buckets_[i];
+        // Backward-shift deletion: slide displaced entries of the probe
+        // chain up over the hole so lookups never need tombstones.
+        std::size_t hole = i;
+        for (std::size_t j = next(hole); buckets_[j].key != kTickMax;
+             j = next(j)) {
+            std::size_t home = ideal(buckets_[j].key);
+            if (((j - home) & mask()) >= ((j - hole) & mask())) {
+                buckets_[hole] = buckets_[j];
+                hole = j;
+            }
+        }
+        buckets_[hole].key = kTickMax;
+        --count_;
+        return out;
+    }
+
+    /** Visit every live entry (order unspecified). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Entry &e : buckets_)
+            if (e.key != kTickMax)
+                fn(e);
+    }
+
+  private:
+    static constexpr std::size_t kMinBuckets = 16;  // power of two
+
+    std::size_t mask() const { return buckets_.size() - 1; }
+    std::size_t next(std::size_t i) const { return (i + 1) & mask(); }
+
+    /** Fibonacci hashing: multiplicative spread of the tick bits. */
+    std::size_t
+    ideal(Tick key) const
+    {
+        return std::size_t((key * 0x9E3779B97F4A7C15ull) >> 32) & mask();
+    }
+
+    void
+    grow()
+    {
+        std::vector<Entry> doubled(buckets_.size() * 2);
+        doubled.swap(buckets_);
+        for (const Entry &e : doubled) {  // `doubled` now holds the old table
+            if (e.key == kTickMax)
+                continue;
+            std::size_t i = ideal(e.key);
+            while (buckets_[i].key != kTickMax)
+                i = next(i);
+            buckets_[i] = e;
+        }
+    }
+
+    std::vector<Entry> buckets_;
+    std::size_t count_ = 0;
+};
+
+} // namespace rsn::sim
+
+#endif // RSN_SIM_TICK_INDEX_HH

@@ -84,4 +84,60 @@ TEST(Engine, EventCountIsTracked)
     EXPECT_EQ(e.eventsProcessed(), 17u);
 }
 
+TEST(Engine, TickLimitInPastDoesNotRewindTime)
+{
+    Engine e;
+    bool fired = false;
+    e.schedule(100, [&] { fired = true; });
+    EXPECT_FALSE(e.run(50));
+    EXPECT_EQ(e.now(), 50u);
+    // A limit below the current time must not move now() backwards.
+    EXPECT_FALSE(e.run(30));
+    EXPECT_EQ(e.now(), 50u);
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(e.run());
+    EXPECT_EQ(e.now(), 100u);
+    EXPECT_TRUE(fired);
+}
+
+TEST(Engine, SameTickEventScheduledDuringDispatchRunsAfterQueued)
+{
+    Engine e;
+    std::vector<int> order;
+    e.schedule(5, [&] {
+        order.push_back(1);
+        e.schedule(0, [&] { order.push_back(3); });  // behind event 2
+    });
+    e.schedule(5, [&] { order.push_back(2); });
+    EXPECT_TRUE(e.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(e.now(), 5u);
+}
+
+TEST(Engine, TicksAcrossAllWheelLevelsRunInOrder)
+{
+    // One event per timing-wheel level plus the overflow heap (see the
+    // two-level queue description in engine.hh).
+    Engine e;
+    std::vector<Tick> fired;
+    const Tick far = (Tick(1) << 33) + 7;
+    for (Tick t : {far, Tick(20'000'000), Tick(70'000), Tick(300), Tick(3)})
+        e.scheduleAt(t, [&fired, &e] { fired.push_back(e.now()); });
+    EXPECT_TRUE(e.run());
+    EXPECT_EQ(fired, (std::vector<Tick>{3, 300, 70'000, 20'000'000, far}));
+    EXPECT_EQ(e.now(), far);
+}
+
+TEST(Engine, PendingEventsTracksQueueDepth)
+{
+    Engine e;
+    EXPECT_EQ(e.pendingEvents(), 0u);
+    for (int i = 0; i < 5; ++i)
+        e.schedule(10, [] {});
+    EXPECT_EQ(e.pendingEvents(), 5u);
+    EXPECT_TRUE(e.run());
+    EXPECT_EQ(e.pendingEvents(), 0u);
+    EXPECT_TRUE(e.idle());
+}
+
 } // namespace

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Counting-allocator verification of the engine's allocation-free
+ * dispatch invariant (see the file comment in sim/engine.hh): after
+ * warmup, coroutine resumption and inline-callback dispatch must perform
+ * zero heap allocations, and channel traffic must be O(1) allocations
+ * regardless of item count. Also checks that undispatched heap-path
+ * callables are released on engine destruction.
+ *
+ * The whole test binary replaces global operator new/delete with counting
+ * versions; tests only compare counter deltas around regions where no
+ * gtest machinery runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "sim/channel.hh"
+#include "sim/engine.hh"
+#include "sim/task.hh"
+
+namespace {
+std::atomic<std::uint64_t> g_news{0};
+std::atomic<std::uint64_t> g_deletes{0};
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    g_news.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return operator new(n);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    g_deletes.fetch_add(1, std::memory_order_relaxed);
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    operator delete(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    operator delete(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    operator delete(p);
+}
+
+namespace {
+
+using rsn::Tick;
+using rsn::sim::Channel;
+using rsn::sim::Engine;
+using rsn::sim::Task;
+
+std::uint64_t
+news()
+{
+    return g_news.load(std::memory_order_relaxed);
+}
+
+Task
+delayLoop(Engine &e, int n)
+{
+    for (int i = 0; i < n; ++i)
+        co_await e.delay(1);
+}
+
+TEST(EngineAlloc, CoroutineResumeDispatchIsAllocationFree)
+{
+    Engine e;
+    Task t = delayLoop(e, 20000);
+    e.run(1000);  // warmup: grows arena/wheel bookkeeping once
+    std::uint64_t before = news();
+    e.run(15000);  // ~14000 coroutine resume events
+    EXPECT_EQ(news(), before) << "coroutine dispatch path allocated";
+    EXPECT_TRUE(e.run());
+    EXPECT_TRUE(t.done());
+}
+
+struct Chain {
+    Engine *e;
+    int *remaining;
+    void
+    operator()() const
+    {
+        if (--*remaining > 0)
+            e->schedule(1, *this);
+    }
+};
+static_assert(sizeof(Chain) <= Engine::kInlineFnSize);
+
+TEST(EngineAlloc, InlineCallbackDispatchIsAllocationFree)
+{
+    Engine e;
+    int remaining = 20000;
+    e.schedule(1, Chain{&e, &remaining});
+    e.run(1000);  // warmup
+    std::uint64_t before = news();
+    e.run(15000);
+    EXPECT_EQ(news(), before) << "inline callback path allocated";
+    EXPECT_TRUE(e.run());
+    EXPECT_EQ(remaining, 0);
+}
+
+Task
+pingSender(Channel<int> &ch, int n)
+{
+    for (int i = 0; i < n; ++i)
+        co_await ch.send(i);
+}
+
+Task
+pingReceiver(Channel<int> &ch, int n, long &sum)
+{
+    for (int i = 0; i < n; ++i)
+        sum += co_await ch.recv();
+}
+
+TEST(EngineAlloc, ChannelTrafficAllocatesO1NotPerItem)
+{
+    std::uint64_t before = news();
+    long sum = 0;
+    {
+        Engine e;
+        Channel<int> ch(e, 2);
+        Task s = pingSender(ch, 10000);
+        Task r = pingReceiver(ch, 10000, sum);
+        EXPECT_TRUE(e.run());
+    }
+    // 2 coroutine frames + ring/arena warmup growth; far below one
+    // allocation per item (the seed engine did one std::function event
+    // per wakeup through a node-based priority queue).
+    EXPECT_LE(news() - before, 64u);
+    EXPECT_EQ(sum, 10000L * 9999 / 2);
+}
+
+TEST(EngineAlloc, UndispatchedHeapCallablesReleasedOnDestruction)
+{
+    std::uint64_t nb = news();
+    std::uint64_t db = g_deletes.load(std::memory_order_relaxed);
+    {
+        Engine e;
+        std::array<char, 200> big{};  // forces the heap fallback path
+        for (int i = 0; i < 16; ++i)
+            e.schedule(5 + i % 3, [big] { (void)big; });
+        // Destroyed with all 16 events still pending.
+    }
+    EXPECT_EQ(news() - nb, g_deletes.load(std::memory_order_relaxed) - db)
+        << "engine destruction leaked pending heap callables";
+}
+
+} // namespace

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Run the sim-kernel microbenchmarks and emit a BENCH_sim.json events/sec
+# summary for the performance trajectory across PRs.
+#
+# Usage: tools/bench_json.sh [build-dir] [out-json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+OUT="${2:-BENCH_sim.json}"
+
+if [[ ! -x "$BUILD/bench_micro_sim" ]]; then
+    echo "error: $BUILD/bench_micro_sim not built (run tools/smoke.sh first)" >&2
+    exit 1
+fi
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+"$BUILD/bench_micro_sim" --benchmark_format=json --benchmark_min_time=0.5 \
+    >"$RAW" 2>/dev/null
+
+python3 - "$RAW" "$OUT" <<'EOF'
+import json
+import sys
+
+raw = json.load(open(sys.argv[1]))
+ctx = raw.get("context", {})
+out = {
+    "context": {
+        "date": ctx.get("date"),
+        "num_cpus": ctx.get("num_cpus"),
+        "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+        "build_type": ctx.get("library_build_type"),
+    },
+    "events_per_second": {},
+}
+for b in raw["benchmarks"]:
+    entry = {"items_per_second": b.get("items_per_second"),
+             "cpu_time_ns": b.get("cpu_time")}
+    if "allocs_per_event" in b:
+        entry["allocs_per_event"] = b["allocs_per_event"]
+    out["events_per_second"][b["name"]] = entry
+json.dump(out, open(sys.argv[2], "w"), indent=2)
+print(f"wrote {sys.argv[2]}")
+EOF

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# One-command tier-1 gate: configure, build, run the full test suite, and
+# smoke-run the sim microbenchmarks. Exits nonzero on any failure.
+#
+# Usage: tools/smoke.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+JOBS="$(nproc)"
+
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" -j "$JOBS"
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+# Benchmarks must at least run (one fast rep; timing is bench_json.sh's job).
+"$BUILD/bench_micro_sim" --benchmark_min_time=0 \
+    --benchmark_filter='BM_EngineEventDispatch/1000$|BM_ChannelPingPong/1000$|BM_CoroResumeDispatch/1000$' \
+    >/dev/null 2>&1
+
+echo "smoke: OK"

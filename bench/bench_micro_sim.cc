@@ -17,6 +17,7 @@
 #include "sim/engine.hh"
 #include "sim/stream.hh"
 #include "sim/task.hh"
+#include "sim/tile_pool.hh"
 
 // Global allocation counter so benchmarks can report allocs/event on the
 // dispatch paths (the engine's allocation-free invariant, engine.hh).
@@ -69,8 +70,11 @@ using rsn::Tick;
 using rsn::sim::Channel;
 using rsn::sim::Engine;
 using rsn::sim::makeChunk;
+using rsn::sim::makeTileChunk;
 using rsn::sim::Stream;
 using rsn::sim::Task;
+using rsn::sim::TilePool;
+using rsn::sim::TileRef;
 
 void
 BM_EngineEventDispatch(benchmark::State &state)
@@ -234,21 +238,77 @@ streamReceiver(Stream &s, int n, long &bytes)
         bytes += (co_await s.recv()).bytes;
 }
 
+/** Timing-only chunk stream: the coroutine-free link-scheduler path.
+ *  Reports allocs/chunk after warmup (must be ~0, pinned by
+ *  tests/sim/test_stream_alloc.cc). */
 void
 BM_StreamChunkTransfer(benchmark::State &state)
 {
+    std::uint64_t allocs = 0;
+    std::uint64_t chunks = 0;
     for (auto _ : state) {
         Engine e;
         Stream s(e, 64.0, 4, "bench");
         long bytes = 0;
         Task snd = streamSender(s, state.range(0));
         Task rcv = streamReceiver(s, state.range(0), bytes);
+        e.run(2000);  // warmup: ring/arena growth
+        std::uint64_t warm = s.chunksTransferred();
+        std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
         e.run();
+        allocs += g_allocs.load(std::memory_order_relaxed) - before;
+        chunks += s.chunksTransferred() - warm;
         benchmark::DoNotOptimize(bytes);
     }
     state.SetItemsProcessed(state.iterations() * state.range(0));
+    state.counters["allocs_per_chunk"] =
+        chunks ? double(allocs) / double(chunks) : 0.0;
 }
 BENCHMARK(BM_StreamChunkTransfer)->Arg(1000)->Arg(10000);
+
+Task
+pooledStreamSender(Stream &s, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        TileRef t = TilePool::instance().acquire(32 * 32);
+        t.mutableData()[0] = float(i);
+        co_await s.send(makeTileChunk(32, 32, std::move(t), i));
+    }
+}
+
+Task
+pooledStreamReceiver(Stream &s, int n, double &sum)
+{
+    for (int i = 0; i < n; ++i)
+        sum += (co_await s.recv()).at(0, 0);
+}
+
+/** Functional-payload stream: pooled FP32 tiles recycle through the
+ *  TilePool free list instead of shared_ptr<vector> churn. */
+void
+BM_StreamPooledPayloadTransfer(benchmark::State &state)
+{
+    std::uint64_t allocs = 0;
+    std::uint64_t chunks = 0;
+    for (auto _ : state) {
+        Engine e;
+        Stream s(e, 64.0, 4, "bench-pooled");
+        double sum = 0;
+        Task snd = pooledStreamSender(s, state.range(0));
+        Task rcv = pooledStreamReceiver(s, state.range(0), sum);
+        e.run(2000);
+        std::uint64_t warm = s.chunksTransferred();
+        std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+        e.run();
+        allocs += g_allocs.load(std::memory_order_relaxed) - before;
+        chunks += s.chunksTransferred() - warm;
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+    state.counters["allocs_per_chunk"] =
+        chunks ? double(allocs) / double(chunks) : 0.0;
+}
+BENCHMARK(BM_StreamPooledPayloadTransfer)->Arg(1000)->Arg(10000);
 
 } // namespace
 

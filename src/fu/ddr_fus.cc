@@ -42,9 +42,12 @@ DdrFu::runKernel(const isa::Uop &uop)
             co_await chan_.access(req);
             sim::Chunk c;
             if (host_.functional()) {
-                c = sim::makeDataChunk(
-                    u.rows, u.cols,
-                    host_.readBlock(addr, u.pitch, u.rows, u.cols), i);
+                // Load straight into a pooled tile: no vector, no copy.
+                auto t = sim::TilePool::instance().acquire(
+                    std::uint64_t(u.rows) * u.cols);
+                host_.readBlockInto(addr, u.pitch, u.rows, u.cols,
+                                    t.mutableData());
+                c = sim::makeTileChunk(u.rows, u.cols, std::move(t), i);
             } else {
                 c = sim::makeChunk(u.rows, u.cols, i);
             }
@@ -58,7 +61,8 @@ DdrFu::runKernel(const isa::Uop &uop)
                                              layout_)};
             co_await chan_.access(req);
             if (c.hasData())
-                host_.writeBlock(addr, u.pitch, c.rows, c.cols, *c.data);
+                host_.writeBlock(addr, u.pitch, c.rows, c.cols,
+                                 c.data.data(), c.elems());
         }
     }
 }
@@ -84,10 +88,11 @@ LpddrFu::runKernel(const isa::Uop &uop)
         co_await chan_.access(req);
         sim::Chunk c;
         if (host_.functional()) {
-            c = sim::makeDataChunk(u.rows, u.cols,
-                                   host_.readBlock(addr, u.pitch, u.rows,
-                                                   u.cols),
-                                   i);
+            auto t = sim::TilePool::instance().acquire(
+                std::uint64_t(u.rows) * u.cols);
+            host_.readBlockInto(addr, u.pitch, u.rows, u.cols,
+                                t.mutableData());
+            c = sim::makeTileChunk(u.rows, u.cols, std::move(t), i);
         } else {
             c = sim::makeChunk(u.rows, u.cols, i);
         }

@@ -36,10 +36,11 @@ sliceChunk(const TileBuffer &buf, std::uint32_t row_off,
 {
     if (!buf.hasData())
         return sim::makeChunk(rows, buf.cols, tag);
-    std::vector<float> v(std::size_t(rows) * buf.cols);
-    std::copy_n(buf.data.begin() + std::size_t(row_off) * buf.cols,
-                v.size(), v.begin());
-    return sim::makeDataChunk(rows, buf.cols, std::move(v), tag);
+    std::size_t n = std::size_t(rows) * buf.cols;
+    sim::TileRef t = sim::TilePool::instance().acquire(n);
+    std::copy_n(buf.data.begin() + std::size_t(row_off) * buf.cols, n,
+                t.mutableData());
+    return sim::makeTileChunk(rows, buf.cols, std::move(t), tag);
 }
 
 } // namespace
@@ -59,7 +60,7 @@ MemAFu::loadPart(const isa::MemAUop &u, TileBuffer &buf)
     buf.rows = c.rows;
     buf.cols = c.cols;
     if (c.hasData())
-        buf.data = *c.data;
+        buf.data.assign(c.data.data(), c.data.data() + c.elems());
     else
         buf.data.clear();
 }
@@ -127,7 +128,7 @@ MemBFu::loadPart(const isa::MemBUop &u, TileBuffer &buf)
         buf.rows = c.rows;
         buf.cols = c.cols;
         if (c.hasData())
-            buf.data = *c.data;
+            buf.data.assign(c.data.data(), c.data.data() + c.elems());
         else
             buf.data.clear();
     }
@@ -192,7 +193,7 @@ MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
                 buf.data.assign(std::size_t(buf.rows) * buf.cols, 0.f);
         }
         if (c.hasData() && !buf.data.empty()) {
-            std::copy_n(c.data->begin(), c.elems(),
+            std::copy_n(c.data.data(), c.elems(),
                         buf.data.begin() +
                             std::size_t(row_fill) * buf.cols);
         }
@@ -209,7 +210,7 @@ MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
         sim::Chunk res = co_await in(ddr_).recv();
         countIn(res);
         if (res.hasData() && !buf.data.empty())
-            addInplace(buf.data, *res.data);
+            addInplace(buf.data, res.data.data(), res.elems());
         flops += elems * kResidualFlopsPerElem;
     }
     std::vector<float> gamma, beta;
@@ -218,9 +219,9 @@ MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
         sim::Chunk p = co_await in(FuId{FuType::Lpddr, 0}).recv();
         countIn(p);
         if (p.hasData()) {
-            gamma.assign(p.data->begin(), p.data->begin() + p.cols);
-            beta.assign(p.data->begin() + p.cols,
-                        p.data->begin() + 2 * p.cols);
+            const float *pd = p.data.data();
+            gamma.assign(pd, pd + p.cols);
+            beta.assign(pd + p.cols, pd + 2 * p.cols);
         }
         flops += elems * kScaleShiftFlopsPerElem;
     }

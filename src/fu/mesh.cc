@@ -13,17 +13,19 @@ MeshFu::broadcastKernel(const isa::MeshUop &u)
     for (std::uint32_t rep = 0; rep < u.repeats; ++rep) {
         sim::Chunk c = co_await src.recv();
         countIn(c);
-        // Replicate to every destination; the copies share the payload and
-        // the sends overlap (distinct output links).
-        std::vector<sim::Task> sends;
-        sends.reserve(u.routes.size());
+        // Replicate to every destination and let the transfers overlap
+        // (distinct output links). The copies share one pooled payload by
+        // refcount; receivers get read-only views and must acquire a
+        // fresh tile to transform (copy-on-transform).
         for (const auto &r : u.routes) {
             sim::Chunk copy = c;
             countOut(copy);
-            sends.push_back(out(r.dst).send(std::move(copy)));
+            out(r.dst).post(std::move(copy));
         }
-        for (auto &t : sends)
-            co_await t;
+        // Next repeat may not start until every destination received its
+        // copy — same barrier the per-send coroutines used to provide.
+        for (const auto &r : u.routes)
+            co_await out(r.dst).flush();
     }
 }
 

@@ -1,5 +1,6 @@
 #include "fu/mme.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -31,7 +32,9 @@ MmeFu::runKernel(const isa::Uop &uop)
         }
 
         std::uint32_t out_rows = 0, out_cols = 0;
-        std::vector<float> acc;
+        // Output-stationary accumulator: a pooled tile, uniquely owned
+        // until it is published inside the outgoing chunk.
+        sim::TileRef acc;
         for (std::uint32_t ks = 0; ks < u.k_steps; ++ks) {
             sim::Chunk lhs = co_await lhs_in.recv();
             sim::Chunk rhs = co_await rhs_in.recv();
@@ -59,16 +62,19 @@ MmeFu::runKernel(const isa::Uop &uop)
                             rhs.hasData() ? rhs.at(1 % rhs.rows, 0) : 0.f);
             }
             if (lhs.hasData() && rhs.hasData()) {
-                if (acc.empty())
-                    acc.assign(std::size_t(out_rows) * out_cols, 0.f);
+                std::size_t out_elems = std::size_t(out_rows) * out_cols;
+                if (!acc) {
+                    acc = sim::TilePool::instance().acquire(out_elems);
+                    std::fill_n(acc.mutableData(), out_elems, 0.f);
+                }
                 // Accumulating tile product (output-stationary).
+                float *accp = acc.mutableData();
                 for (std::uint32_t i = 0; i < lhs.rows; ++i) {
                     for (std::uint32_t k = 0; k < lhs.cols; ++k) {
                         float av = lhs.at(i, k);
                         if (av == 0.f)
                             continue;
-                        float *dst =
-                            acc.data() + std::size_t(i) * out_cols;
+                        float *dst = accp + std::size_t(i) * out_cols;
                         for (std::uint32_t j = 0; j < rhs.cols; ++j)
                             dst[j] += av * rhs.at(k, j);
                     }
@@ -78,10 +84,9 @@ MmeFu::runKernel(const isa::Uop &uop)
             if (!u.accum_k) {
                 // Emit a partial product per k-step instead of reducing.
                 sim::Chunk partial;
-                if (!acc.empty()) {
-                    partial = sim::makeDataChunk(out_rows, out_cols,
+                if (acc) {
+                    partial = sim::makeTileChunk(out_rows, out_cols,
                                                  std::move(acc), ks);
-                    acc.clear();
                 } else {
                     partial = sim::makeChunk(out_rows, out_cols, ks);
                 }
@@ -92,16 +97,17 @@ MmeFu::runKernel(const isa::Uop &uop)
 
         if (u.accum_k) {
             sim::Chunk result;
-            if (!acc.empty()) {
+            if (acc) {
                 if (bias.hasData()) {
                     rsn_assert(bias.cols == out_cols, "bias width");
+                    float *accp = acc.mutableData();
                     for (std::uint32_t i = 0; i < out_rows; ++i)
                         for (std::uint32_t j = 0; j < out_cols; ++j)
-                            acc[std::size_t(i) * out_cols + j] +=
+                            accp[std::size_t(i) * out_cols + j] +=
                                 bias.at(0, j);
                     countFlops(std::uint64_t(out_rows) * out_cols);
                 }
-                result = sim::makeDataChunk(out_rows, out_cols,
+                result = sim::makeTileChunk(out_rows, out_cols,
                                             std::move(acc), rep);
             } else {
                 result = sim::makeChunk(out_rows, out_cols, rep);

@@ -75,7 +75,14 @@ void
 addInplace(std::vector<float> &tile, const std::vector<float> &other)
 {
     rsn_assert(tile.size() == other.size(), "residual shape mismatch");
-    for (std::size_t i = 0; i < tile.size(); ++i)
+    addInplace(tile, other.data(), other.size());
+}
+
+void
+addInplace(std::vector<float> &tile, const float *other, std::size_t n)
+{
+    rsn_assert(tile.size() == n, "residual shape mismatch");
+    for (std::size_t i = 0; i < n; ++i)
         tile[i] += other[i];
 }
 

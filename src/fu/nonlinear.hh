@@ -38,6 +38,10 @@ void scaleShiftRows(std::vector<float> &tile, std::uint32_t rows,
 /** tile += other (element-wise residual add). */
 void addInplace(std::vector<float> &tile, const std::vector<float> &other);
 
+/** tile += other (raw payload view, e.g. a pooled chunk tile). */
+void addInplace(std::vector<float> &tile, const float *other,
+                std::size_t n);
+
 /** @{ FLOP-per-element costs used for MemC timing and the power model. */
 inline constexpr double kSoftmaxFlopsPerElem = 5.0;
 inline constexpr double kGeluFlopsPerElem = 8.0;

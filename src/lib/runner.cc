@@ -15,7 +15,7 @@ initTensors(core::RsnMachine &mach, const CompiledModel &compiled,
         if (t.name == "input" || t.is_weight) {
             ref::Matrix m = ref::randomMatrix(t.rows, t.cols,
                                               seed + salt, scale);
-            mach.host().fillRegion(t.addr, m.data);
+            mach.host().fillRegion(t.addr, m.data.data(), m.data.size());
         }
         ++salt;
     }

@@ -60,20 +60,30 @@ HostMemory::readBlock(Addr addr, std::uint64_t pitch_elems,
 {
     if (!functional_)
         return {};
+    std::vector<float> out(std::uint64_t(rows) * cols);
+    readBlockInto(addr, pitch_elems, rows, cols, out.data());
+    return out;
+}
+
+void
+HostMemory::readBlockInto(Addr addr, std::uint64_t pitch_elems,
+                          std::uint32_t rows, std::uint32_t cols,
+                          float *dst) const
+{
+    if (!functional_)
+        return;
     const Region *r = find(addr);
     rsn_assert(r, "read from unmapped address 0x%llx (%ux%u pitch %llu)",
                static_cast<unsigned long long>(addr), rows, cols,
                static_cast<unsigned long long>(pitch_elems));
     std::uint64_t off = (addr - r->base) / sizeof(float);
-    std::vector<float> out(std::uint64_t(rows) * cols);
     for (std::uint32_t i = 0; i < rows; ++i) {
         std::uint64_t src = off + std::uint64_t(i) * pitch_elems;
         rsn_assert(src + cols <= r->elems, "read past region end in '%s'",
                    r->name.c_str());
         std::copy_n(r->data.begin() + src, cols,
-                    out.begin() + std::uint64_t(i) * cols);
+                    dst + std::uint64_t(i) * cols);
     }
-    return out;
 }
 
 void
@@ -81,18 +91,26 @@ HostMemory::writeBlock(Addr addr, std::uint64_t pitch_elems,
                        std::uint32_t rows, std::uint32_t cols,
                        const std::vector<float> &data)
 {
+    writeBlock(addr, pitch_elems, rows, cols, data.data(), data.size());
+}
+
+void
+HostMemory::writeBlock(Addr addr, std::uint64_t pitch_elems,
+                       std::uint32_t rows, std::uint32_t cols,
+                       const float *data, std::size_t n)
+{
     if (!functional_)
         return;
     Region *r = find(addr);
     rsn_assert(r, "write to unmapped address");
-    rsn_assert(data.size() >= std::uint64_t(rows) * cols,
+    rsn_assert(n >= std::uint64_t(rows) * cols,
                "write payload too small");
     std::uint64_t off = (addr - r->base) / sizeof(float);
     for (std::uint32_t i = 0; i < rows; ++i) {
         std::uint64_t dst = off + std::uint64_t(i) * pitch_elems;
         rsn_assert(dst + cols <= r->elems, "write past region end in '%s'",
                    r->name.c_str());
-        std::copy_n(data.begin() + std::uint64_t(i) * cols, cols,
+        std::copy_n(data + std::uint64_t(i) * cols, cols,
                     r->data.begin() + dst);
     }
 }
@@ -100,12 +118,18 @@ HostMemory::writeBlock(Addr addr, std::uint64_t pitch_elems,
 void
 HostMemory::fillRegion(Addr base, const std::vector<float> &values)
 {
+    fillRegion(base, values.data(), values.size());
+}
+
+void
+HostMemory::fillRegion(Addr base, const float *values, std::size_t n)
+{
     if (!functional_)
         return;
     auto it = regions_.find(base);
     rsn_assert(it != regions_.end(), "fill of unknown region");
-    rsn_assert(values.size() == it->second.elems, "fill size mismatch");
-    it->second.data = values;
+    rsn_assert(n == it->second.elems, "fill size mismatch");
+    it->second.data.assign(values, values + n);
 }
 
 std::vector<float>

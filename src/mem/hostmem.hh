@@ -52,13 +52,30 @@ class HostMemory
                                  std::uint32_t rows,
                                  std::uint32_t cols) const;
 
+    /**
+     * Read a block straight into caller-owned storage of rows*cols
+     * floats (e.g. a pooled tile) — the allocation-free load path.
+     * No-op in timing-only mode.
+     */
+    void readBlockInto(Addr addr, std::uint64_t pitch_elems,
+                       std::uint32_t rows, std::uint32_t cols,
+                       float *dst) const;
+
     /** Write a row-major 2-D block (no-op in timing-only mode). */
     void writeBlock(Addr addr, std::uint64_t pitch_elems,
                     std::uint32_t rows, std::uint32_t cols,
                     const std::vector<float> &data);
 
+    /** Write a block from caller-owned storage of at least @p n floats. */
+    void writeBlock(Addr addr, std::uint64_t pitch_elems,
+                    std::uint32_t rows, std::uint32_t cols,
+                    const float *data, std::size_t n);
+
     /** Fill a whole region with values (functional initialization). */
     void fillRegion(Addr base, const std::vector<float> &values);
+
+    /** Fill a whole region from raw storage of @p n floats. */
+    void fillRegion(Addr base, const float *values, std::size_t n);
 
     /** Snapshot a whole region (functional verification). */
     std::vector<float> readRegion(Addr base) const;

@@ -27,6 +27,10 @@ struct Matrix {
     Matrix(std::uint32_t r, std::uint32_t c)
         : rows(r), cols(c), data(std::size_t(r) * c, 0.f)
     {}
+    /** Wrap a raw row-major payload (e.g. a pooled chunk tile). */
+    Matrix(std::uint32_t r, std::uint32_t c, const float *src)
+        : rows(r), cols(c), data(src, src + std::size_t(r) * c)
+    {}
 
     float &at(std::uint32_t r, std::uint32_t c)
     {

@@ -3,21 +3,24 @@
  * Chunk: the unit of data carried on RSN streams.
  *
  * A chunk is a 2-D tile block (rows x cols FP32 elements). Timing-only runs
- * leave @c data null; functional runs attach an FP32 payload in row-major
- * order. Receivers must treat payloads as immutable and allocate fresh
- * buffers for transformed data (copy-on-transform), since payloads are
- * shared when a mesh FU broadcasts one chunk to several destinations.
+ * leave @c data empty; functional runs attach a pooled FP32 payload in
+ * row-major order (sim/tile_pool.hh). Receivers must treat payloads as
+ * immutable and acquire fresh tiles for transformed data
+ * (copy-on-transform), since payloads are shared by refcount when a mesh
+ * FU broadcasts one chunk to several destinations — TileRef enforces this
+ * by gating writable access on unique ownership.
  */
 
 #ifndef RSN_SIM_CHUNK_HH
 #define RSN_SIM_CHUNK_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "common/log.hh"
 #include "common/types.hh"
+#include "sim/tile_pool.hh"
 
 namespace rsn::sim {
 
@@ -26,8 +29,8 @@ struct Chunk {
     std::uint32_t cols = 0;
     /** Payload size on the wire; defaults to rows*cols*sizeof(float). */
     Bytes bytes = 0;
-    /** Optional functional payload, row-major rows x cols. */
-    std::shared_ptr<const std::vector<float>> data;
+    /** Optional functional payload, row-major rows x cols (pooled). */
+    TileRef data;
     /** Free-form tag for debugging / assertions (e.g. k-step index). */
     std::uint32_t tag = 0;
 
@@ -36,14 +39,22 @@ struct Chunk {
         return std::uint64_t(rows) * cols;
     }
 
-    bool hasData() const { return data != nullptr; }
+    bool hasData() const { return static_cast<bool>(data); }
 
     /** Element access (functional payloads only). */
     float
     at(std::uint32_t r, std::uint32_t c) const
     {
         rsn_assert(data && r < rows && c < cols, "chunk access out of range");
-        return (*data)[std::uint64_t(r) * cols + c];
+        return data.data()[std::uint64_t(r) * cols + c];
+    }
+
+    /** Copy the payload out (tests / reference checks; allocates). */
+    std::vector<float>
+    toVector() const
+    {
+        rsn_assert(data, "no payload to copy");
+        return std::vector<float>(data.data(), data.data() + elems());
     }
 };
 
@@ -51,21 +62,31 @@ struct Chunk {
 inline Chunk
 makeChunk(std::uint32_t rows, std::uint32_t cols, std::uint32_t tag = 0)
 {
-    return Chunk{rows, cols, Bytes(rows) * cols * sizeof(float), nullptr,
+    return Chunk{rows, cols, Bytes(rows) * cols * sizeof(float), TileRef{},
                  tag};
 }
 
-/** Make a functional chunk wrapping @p values (must be rows*cols floats). */
+/** Make a functional chunk around an already-filled pooled tile. */
+inline Chunk
+makeTileChunk(std::uint32_t rows, std::uint32_t cols, TileRef tile,
+              std::uint32_t tag = 0)
+{
+    rsn_assert(tile.capacity() >= std::uint64_t(rows) * cols,
+               "tile too small for %ux%u chunk", rows, cols);
+    return Chunk{rows, cols, Bytes(rows) * cols * sizeof(float),
+                 std::move(tile), tag};
+}
+
+/** Make a functional chunk by copying @p values into a pooled tile. */
 inline Chunk
 makeDataChunk(std::uint32_t rows, std::uint32_t cols,
-              std::vector<float> values, std::uint32_t tag = 0)
+              const std::vector<float> &values, std::uint32_t tag = 0)
 {
     rsn_assert(values.size() == std::size_t(rows) * cols,
                "payload size mismatch");
-    return Chunk{rows, cols, Bytes(rows) * cols * sizeof(float),
-                 std::make_shared<const std::vector<float>>(
-                     std::move(values)),
-                 tag};
+    TileRef tile = TilePool::instance().acquire(values.size());
+    std::copy(values.begin(), values.end(), tile.mutableData());
+    return makeTileChunk(rows, cols, std::move(tile), tag);
 }
 
 } // namespace rsn::sim

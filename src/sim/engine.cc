@@ -125,6 +125,11 @@ Engine::run(Tick max_ticks)
             // Fast path: nothing to copy or destroy, just resume.
             std::coroutine_handle<> h = s.u.coro;
             h.resume();
+        } else if (s.kind == Kind::Ptr) {
+            // Raw-callback path: two register loads, then call.
+            void (*fn)(void *) = s.u.pair.fn;
+            void *arg = s.u.pair.arg;
+            fn(arg);
         } else {
             // The callback may schedule and grow the arena, invalidating
             // references into it; fire a stack copy of the POD slot.

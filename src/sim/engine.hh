@@ -136,6 +136,22 @@ class Engine
         s.kind = Kind::Coro;
     }
 
+    /**
+     * Schedule a raw callback at absolute tick @p when. This is the
+     * cheapest non-coroutine event: dispatch reads two pointers and
+     * calls, with none of the slot-copy or cleanup bookkeeping of
+     * schedule(). Used by the stream link scheduler's per-chunk
+     * completion events.
+     */
+    void
+    callAt(Tick when, void (*fn)(void *), void *arg)
+    {
+        Slot &s = slotFor(when);
+        s.u.pair.fn = fn;
+        s.u.pair.arg = arg;
+        s.kind = Kind::Ptr;
+    }
+
     /** Schedule resumption of a coroutine @p delay ticks from now. */
     void
     resumeAfter(Tick delay, std::coroutine_handle<> h)
@@ -197,6 +213,7 @@ class Engine
   private:
     enum class Kind : std::uint8_t {
         Coro,    ///< Resume u.coro; nothing to destroy.
+        Ptr,     ///< Call u.pair.fn(u.pair.arg); nothing to destroy.
         Inline,  ///< Trivially-copyable callable constructed in u.fn.
         Heap,    ///< u.heap owns a callable; cleanup() deletes it.
     };
@@ -209,6 +226,10 @@ class Engine
             // union uninitialized until a schedule/resume call fills it.
             Payload() {}
             std::coroutine_handle<> coro;
+            struct {
+                void (*fn)(void *);
+                void *arg;
+            } pair;
             alignas(std::max_align_t) std::byte fn[kInlineFnSize];
             void *heap;
         } u;

@@ -6,13 +6,45 @@
  * semantics (FIFO, back-pressure) it models *link occupancy*: a chunk of B
  * bytes occupies the link for ceil(B / width) ticks, and transfers serialize
  * on the link. A full downstream FIFO back-pressures the link: the transfer
- * does not start until a slot is reserved. Like Channel, wakeups enqueue
- * the waiter's coroutine handle directly on the engine's now-queue.
+ * does not start until a slot is reserved.
+ *
+ * ## Coroutine-free data plane
+ *
+ * The send path spawns no coroutine frames and performs no heap
+ * allocations in steady state. `send()` returns a plain awaitable: the
+ * sender's chunk enters an internal ring of pending transfers and the
+ * stream itself drives link occupancy with engine events — one inline
+ * (SBO) completion callback per chunk, scheduled at the transfer's end
+ * tick. Completions deliver in link order, wake the receiver and the
+ * sender through the engine's now-queue, and admit the next pending
+ * sender synchronously when a FIFO slot frees. Slot admission is strictly
+ * FIFO over send/post/trySend arrival order, which preserves the
+ * reservation discipline the old coroutine implementation enforced with
+ * waiter queues. `co_await send(c)` still resumes the sender at delivery
+ * time, so FU kernel overlap semantics are unchanged.
+ *
+ * Producers that must not suspend have two entry points: `trySend()`
+ * (succeeds only when a slot is free right now) and `post()`
+ * (unconditionally enqueues, like a detached send). `flush()` awaits the
+ * send side draining — the mesh FU uses post+flush to overlap one
+ * broadcast chunk across all destination links.
+ *
+ * ## Lifetime
+ *
+ * In-flight transfers hold a raw `this` in their engine completion
+ * event, so a Stream with a non-empty link (`inFlight() > 0`) must not
+ * be destroyed while its engine may still dispatch — the same rule Task
+ * imposes for coroutine frames. The machine guarantees this by
+ * destroying streams only after Engine::run returned and never running
+ * that engine again (events dropped at engine destruction are released,
+ * not invoked).
  */
 
 #ifndef RSN_SIM_STREAM_HH
 #define RSN_SIM_STREAM_HH
 
+#include <bit>
+#include <cmath>
 #include <coroutine>
 #include <string>
 
@@ -20,7 +52,6 @@
 #include "sim/chunk.hh"
 #include "sim/engine.hh"
 #include "sim/ring.hh"
-#include "sim/task.hh"
 
 namespace rsn::sim {
 
@@ -40,6 +71,16 @@ class Stream
     {
         rsn_assert(bytes_per_tick > 0, "stream width must be positive");
         rsn_assert(depth_chunks > 0, "stream depth must be positive");
+        // Every configured link width is a whole byte count; keep an
+        // integer copy so transferTicks is exact ceil-division (the
+        // double formula mis-rounds once bytes exceed 2^53). Power-of-two
+        // widths additionally get a shift instead of a divide.
+        if (bytes_per_tick == std::floor(bytes_per_tick) &&
+            bytes_per_tick < 9.0e18) {
+            bpt_int_ = static_cast<Bytes>(bytes_per_tick);
+            if ((bpt_int_ & (bpt_int_ - 1)) == 0)
+                bpt_shift_ = std::countr_zero(bpt_int_);
+        }
     }
 
     Stream(const Stream &) = delete;
@@ -55,143 +96,239 @@ class Stream
     /** Ticks the link spent busy transferring (stats). */
     Tick busyTicks() const { return busy_ticks_; }
 
-    bool hasBlockedSender() const { return !send_waiters_.empty(); }
+    /** True if a chunk is waiting for a FIFO slot (back-pressure). */
+    bool hasBlockedSender() const { return !pending_.empty(); }
     bool hasBlockedReceiver() const { return !recv_waiters_.empty(); }
     std::size_t queued() const { return q_.size(); }
+    /** Chunks admitted to the link but not yet delivered. */
+    std::size_t inFlight() const { return xfer_.size(); }
 
     /** Transfer duration in ticks for a chunk of @p b bytes (>= 1). */
     Tick
     transferTicks(Bytes b) const
     {
+        if (bpt_int_ > 0) {
+            Tick t = bpt_shift_ >= 0
+                         ? (b + bpt_int_ - 1) >> bpt_shift_
+                         : (b + bpt_int_ - 1) / bpt_int_;
+            return t ? t : 1;
+        }
+        // Fractional link width: fall back to double ceil.
         auto t = static_cast<Tick>(
-            (static_cast<double>(b) + bytes_per_tick_ - 1) /
-            bytes_per_tick_);
+            std::ceil(static_cast<double>(b) / bytes_per_tick_));
         return t ? t : 1;
     }
 
     /**
-     * Send a chunk: reserve a FIFO slot (blocking if full), occupy the link
-     * for the transfer duration, then deliver.
+     * Awaitable send: reserve a FIFO slot (FIFO-fair if full), occupy the
+     * link for the transfer duration, then deliver. The awaiting
+     * coroutine resumes at delivery time.
      */
-    Task
-    send(Chunk c)
+    auto send(Chunk c) { return SendAwaiter{*this, std::move(c)}; }
+
+    /**
+     * Non-suspending send for producers that cannot block: succeeds only
+     * when no sender is queued ahead and a FIFO slot is free right now.
+     * The transfer then proceeds exactly as for send().
+     *
+     * @return false if the chunk was not accepted.
+     */
+    bool
+    trySend(Chunk c)
     {
-        co_await SlotAwaiter{*this};
-        Tick start = std::max(eng_.now(), link_free_);
-        Tick end = start + transferTicks(c.bytes);
-        busy_ticks_ += end - start;
-        link_free_ = end;
-        co_await eng_.delayUntil(end);
-        deliver(std::move(c));
+        if (!pending_.empty() || claimed() >= cap_)
+            return false;
+        admit(Xfer{std::move(c), {}, 0});
+        return true;
     }
 
-    /** Receive the next chunk, blocking while the stream is empty. */
-    ValueTask<Chunk>
-    recv()
+    /**
+     * Detached send: unconditionally enqueue (never suspends, never
+     * fails). Pair with flush() to wait for delivery.
+     */
+    void
+    post(Chunk c)
     {
-        Chunk c = co_await RecvAwaiter{*this};
-        co_return c;
+        if (pending_.empty() && claimed() < cap_)
+            admit(Xfer{std::move(c), {}, 0});
+        else
+            pending_.push_back(Xfer{std::move(c), {}, 0});
     }
+
+    /**
+     * Awaitable: resume once the send side is fully drained (no chunk
+     * pending a slot or occupying the link). With a single producer —
+     * every stream is a point-to-point edge, so that is the normal case
+     * — this means "everything I enqueued was delivered". A producer
+     * that keeps enqueueing concurrently keeps pushing the drain point
+     * out; flush() is not a per-chunk completion.
+     */
+    auto flush() { return FlushAwaiter{*this}; }
+
+    /** Awaitable receive of the next chunk; blocks while empty. */
+    auto recv() { return RecvAwaiter{*this, {}, {}, false}; }
 
   private:
-    /** Slots claimed = queued + reserved by in-flight transfers. */
-    std::size_t claimed() const { return q_.size() + in_flight_; }
-
-    void
-    deliver(Chunk c)
-    {
-        rsn_assert(in_flight_ > 0, "deliver without reservation");
-        --in_flight_;
-        bytes_transferred_ += c.bytes;
-        ++chunks_transferred_;
-        q_.push_back(std::move(c));
-        wakeOneReceiver();
-    }
-
-    void
-    wakeOneReceiver()
-    {
-        if (recv_waiters_.empty())
-            return;
-        auto h = recv_waiters_.pop_front();
-        ++reserved_pops_;
-        eng_.resumeNow(h);
-    }
-
-    void
-    wakeOneSender()
-    {
-        if (send_waiters_.empty())
-            return;
-        auto h = send_waiters_.pop_front();
-        ++reserved_slots_;
-        eng_.resumeNow(h);
-    }
-
-    /** Awaits a free FIFO slot and claims it (as in-flight). */
-    struct SlotAwaiter {
-        Stream &s;
-        bool was_suspended = false;
-
-        bool await_ready() const
-        {
-            return s.send_waiters_.empty() &&
-                   s.claimed() + s.reserved_slots_ < s.cap_;
-        }
-        void await_suspend(std::coroutine_handle<> h)
-        {
-            was_suspended = true;
-            s.send_waiters_.push_back(h);
-        }
-        void await_resume()
-        {
-            if (was_suspended) {
-                rsn_assert(s.reserved_slots_ > 0, "slot wakeup imbalance");
-                --s.reserved_slots_;
-            }
-            ++s.in_flight_;
-        }
+    /** One send operation: payload, waiting sender, completion tick. */
+    struct Xfer {
+        Chunk c;
+        std::coroutine_handle<> waiter;  ///< Null for post()/trySend().
+        Tick end = 0;                    ///< Valid once admitted.
     };
 
-    struct RecvAwaiter {
-        Stream &s;
-        bool was_suspended = false;
+    /** Slots claimed = delivered-and-queued + admitted to the link. */
+    std::size_t claimed() const { return q_.size() + xfer_.size(); }
 
-        bool await_ready() const
+    /** Claim a slot and put @p x on the link behind earlier transfers. */
+    void
+    admit(Xfer x)
+    {
+        Tick start = std::max(eng_.now(), link_free_);
+        x.end = start + transferTicks(x.c.bytes);
+        busy_ticks_ += x.end - start;
+        link_free_ = x.end;
+        bool link_was_idle = xfer_.empty();
+        Tick end = x.end;
+        xfer_.push_back(std::move(x));
+        if (link_was_idle)
+            scheduleCompletion(end);
+    }
+
+    /** Admit pending senders while FIFO slots are free (FIFO order). */
+    void
+    pump()
+    {
+        while (!pending_.empty() && claimed() < cap_)
+            admit(pending_.pop_front());
+    }
+
+    /** Raw engine callback firing at a transfer's end tick. */
+    void
+    scheduleCompletion(Tick when)
+    {
+        eng_.callAt(
+            when,
+            [](void *p) { static_cast<Stream *>(p)->onTransferDone(); },
+            this);
+    }
+
+    /**
+     * A transfer finished: free the link head, hand the chunk over, and
+     * resume the parties. Receiver and sender continuations are resumed
+     * *directly* (not via the engine now-queue): the completion event is
+     * the only engine event on the per-chunk path, and all resumptions
+     * happen at the same tick either way. The next completion is
+     * scheduled before anyone resumes, so continuations observe a
+     * consistent link pipeline.
+     */
+    void
+    onTransferDone()
+    {
+        rsn_assert(!xfer_.empty(), "completion with no transfer in flight");
+        rsn_assert(xfer_.front().end == eng_.now(), "completion mistimed");
+        Xfer x = xfer_.pop_front();
+        bytes_transferred_ += x.c.bytes;
+        ++chunks_transferred_;
+        if (!xfer_.empty())
+            scheduleCompletion(xfer_.front().end);
+        if (!recv_waiters_.empty()) {
+            // Direct handoff: the chunk never touches the FIFO, so its
+            // slot frees immediately — admit pending senders first to
+            // keep claim accounting consistent, then resume.
+            rsn_assert(q_.empty(), "receiver waiting on non-empty stream");
+            RecvAwaiter *w = recv_waiters_.pop_front();
+            w->got = std::move(x.c);
+            w->has_got = true;
+            pump();
+            w->waiter.resume();
+        } else {
+            q_.push_back(std::move(x.c));
+        }
+        if (x.waiter)
+            x.waiter.resume();
+        if (xfer_.empty() && pending_.empty())
+            while (!flush_waiters_.empty())
+                eng_.resumeNow(flush_waiters_.pop_front());
+    }
+
+    struct SendAwaiter {
+        Stream &s;
+        Chunk c;
+
+        /** Delivery is at least one tick away, so always suspend. */
+        bool await_ready() const noexcept { return false; }
+        void
+        await_suspend(std::coroutine_handle<> h)
         {
-            return s.recv_waiters_.empty() &&
-                   s.q_.size() > s.reserved_pops_;
+            if (s.pending_.empty() && s.claimed() < s.cap_)
+                s.admit(Xfer{std::move(c), h, 0});
+            else
+                s.pending_.push_back(Xfer{std::move(c), h, 0});
+        }
+        void await_resume() const noexcept {}
+    };
+
+    struct FlushAwaiter {
+        Stream &s;
+
+        bool await_ready() const noexcept
+        {
+            return s.pending_.empty() && s.xfer_.empty();
         }
         void await_suspend(std::coroutine_handle<> h)
         {
-            was_suspended = true;
-            s.recv_waiters_.push_back(h);
+            s.flush_waiters_.push_back(h);
+        }
+        void await_resume() const noexcept {}
+    };
+
+    /**
+     * Waiting receivers register the awaiter itself (it lives in the
+     * suspended coroutine's frame, so the pointer is stable): delivery
+     * moves the chunk straight into the frame and resumes — a waiting
+     * receiver never round-trips through the FIFO or the event queue.
+     * Consequence: whenever a receiver waits the FIFO is empty, so no
+     * pop-reservation bookkeeping is needed.
+     */
+    struct RecvAwaiter {
+        Stream &s;
+        std::coroutine_handle<> waiter;
+        Chunk got;
+        bool has_got = false;
+
+        bool await_ready() const
+        {
+            return s.recv_waiters_.empty() && !s.q_.empty();
+        }
+        void await_suspend(std::coroutine_handle<> h)
+        {
+            waiter = h;
+            s.recv_waiters_.push_back(this);
         }
         Chunk await_resume()
         {
-            if (was_suspended) {
-                rsn_assert(s.reserved_pops_ > 0, "pop wakeup imbalance");
-                --s.reserved_pops_;
-            }
+            if (has_got)
+                return std::move(got);
             rsn_assert(!s.q_.empty(), "stream underflow");
             Chunk c = std::move(s.q_.front());
             s.q_.pop_front();
-            s.wakeOneSender();
+            s.pump();
             return c;
         }
     };
 
     Engine &eng_;
     double bytes_per_tick_;
+    Bytes bpt_int_ = 0;   ///< Integer link width (0 if fractional).
+    int bpt_shift_ = -1;  ///< log2(width) when a power of two, else -1.
     std::size_t cap_;
     std::string name_;
 
-    Ring<Chunk> q_;
-    Ring<std::coroutine_handle<>> send_waiters_;
-    Ring<std::coroutine_handle<>> recv_waiters_;
-    std::size_t in_flight_ = 0;
-    std::size_t reserved_pops_ = 0;
-    std::size_t reserved_slots_ = 0;
+    Ring<Chunk> q_;          ///< Delivered chunks awaiting recv().
+    Ring<Xfer> pending_;     ///< Sends waiting for a FIFO slot.
+    Ring<Xfer> xfer_;        ///< Admitted transfers, in link order.
+    Ring<RecvAwaiter *> recv_waiters_;
+    Ring<std::coroutine_handle<>> flush_waiters_;
 
     Tick link_free_ = 0;
     Tick busy_ticks_ = 0;

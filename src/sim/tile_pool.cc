@@ -1,0 +1,62 @@
+#include "sim/tile_pool.hh"
+
+#include <new>
+
+namespace rsn::sim {
+
+TilePool &
+TilePool::instance()
+{
+    static TilePool pool;
+    return pool;
+}
+
+TileRef
+TilePool::acquire(std::uint64_t elems)
+{
+    rsn_assert(elems > 0, "empty tile");
+    std::uint32_t bucket = bucketFor(elems);
+    rsn_assert(bucket < kBuckets, "tile too large: %llu elems",
+               static_cast<unsigned long long>(elems));
+    ++acquires_;
+    ++live_;
+    if (detail::TileHdr *h = free_[bucket]) {
+        free_[bucket] = h->next;
+        h->next = nullptr;
+        h->refs = 1;
+        ++reuses_;
+        return TileRef{h};
+    }
+    std::uint64_t cap = std::uint64_t(1) << (bucket + kMinElemsLog2);
+    void *raw = ::operator new(sizeof(detail::TileHdr) +
+                               cap * sizeof(float));
+    auto *h = ::new (raw) detail::TileHdr{this, nullptr, cap, 1, bucket};
+    ++buffers_allocated_;
+    return TileRef{h};
+}
+
+void
+TilePool::retire(detail::TileHdr *h)
+{
+    rsn_assert(h->pool == this, "tile retired to foreign pool");
+    rsn_assert(live_ > 0, "pool live-count underflow");
+    --live_;
+    h->next = free_[h->bucket];
+    free_[h->bucket] = h;
+}
+
+TilePool::~TilePool()
+{
+    // Live tiles (refs > 0) are owned by their TileRefs; only retired
+    // buffers sit on the free lists. A TileRef must not outlive its pool.
+    for (detail::TileHdr *&head : free_) {
+        while (head) {
+            detail::TileHdr *next = head->next;
+            head->~TileHdr();
+            ::operator delete(static_cast<void *>(head));
+            head = next;
+        }
+    }
+}
+
+} // namespace rsn::sim

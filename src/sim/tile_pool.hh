@@ -1,0 +1,199 @@
+/**
+ * @file
+ * TilePool: recycled, refcounted FP32 tile buffers for Chunk payloads.
+ *
+ * Functional-mode chunks used to carry a fresh
+ * `shared_ptr<const vector<float>>` per payload — one control-block
+ * allocation plus one vector allocation per tile on the data plane. The
+ * pool replaces both with size-bucketed buffers on intrusive free lists:
+ * a producer acquires a tile (reusing a retired buffer of the same
+ * bucket), fills it while it is still uniquely owned, and publishes it
+ * inside a Chunk. Consumers share the tile by refcount (mesh broadcast
+ * copies a Chunk, not the payload) and must treat it as immutable:
+ * `TileRef::mutableData()` asserts unique ownership, which pins the
+ * copy-on-transform rule at the API level. When the last reference drops,
+ * the buffer returns to its bucket's free list — steady-state traffic
+ * allocates nothing (pinned by tests/sim/test_stream_alloc.cc).
+ *
+ * The simulator is single-threaded, so refcounts are plain integers and
+ * the pool needs no locking. `TilePool::instance()` is the process-wide
+ * pool every producer uses; independent pools can be created in tests.
+ */
+
+#ifndef RSN_SIM_TILE_POOL_HH
+#define RSN_SIM_TILE_POOL_HH
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace rsn::sim {
+
+class TilePool;
+
+namespace detail {
+
+/** Header preceding each pooled buffer's float storage. */
+struct TileHdr {
+    TilePool *pool;      ///< Owning pool (for release on last unref).
+    TileHdr *next;       ///< Free-list link while retired.
+    std::uint64_t cap;   ///< Element capacity (the bucket size).
+    std::uint32_t refs;  ///< Plain refcount; the sim is single-threaded.
+    std::uint32_t bucket;
+
+    float *payload() { return reinterpret_cast<float *>(this + 1); }
+    const float *payload() const
+    {
+        return reinterpret_cast<const float *>(this + 1);
+    }
+};
+
+static_assert(sizeof(TileHdr) % alignof(float) == 0,
+              "payload must start float-aligned");
+
+} // namespace detail
+
+/**
+ * Shared reference to a pooled tile. Copy = refcount bump; destruction of
+ * the last reference retires the buffer to its pool's free list.
+ */
+class TileRef
+{
+  public:
+    TileRef() = default;
+    ~TileRef() { release(); }
+
+    TileRef(const TileRef &o) : h_(o.h_)
+    {
+        if (h_)
+            ++h_->refs;
+    }
+    TileRef(TileRef &&o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+
+    TileRef &
+    operator=(const TileRef &o)
+    {
+        if (this != &o) {
+            release();
+            h_ = o.h_;
+            if (h_)
+                ++h_->refs;
+        }
+        return *this;
+    }
+    TileRef &
+    operator=(TileRef &&o) noexcept
+    {
+        if (this != &o) {
+            release();
+            h_ = std::exchange(o.h_, nullptr);
+        }
+        return *this;
+    }
+
+    explicit operator bool() const { return h_ != nullptr; }
+
+    /** Read-only payload access (the only access for shared tiles). */
+    const float *
+    data() const
+    {
+        rsn_assert(h_, "deref of empty TileRef");
+        return h_->payload();
+    }
+
+    /**
+     * Writable payload access, legal only while this is the sole
+     * reference — mutating a tile another consumer can still read would
+     * break broadcast-payload immutability.
+     */
+    float *
+    mutableData()
+    {
+        rsn_assert(h_ && h_->refs == 1,
+                   "mutable access to a shared or empty tile");
+        return h_->payload();
+    }
+
+    /** Element capacity of the underlying bucket (>= requested size). */
+    std::uint64_t capacity() const { return h_ ? h_->cap : 0; }
+
+    /** True when exactly one reference exists. */
+    bool unique() const { return h_ && h_->refs == 1; }
+
+    /** Drop this reference (no-op when empty). */
+    void release();
+
+  private:
+    friend class TilePool;
+    explicit TileRef(detail::TileHdr *h) : h_(h) {}
+
+    detail::TileHdr *h_ = nullptr;
+};
+
+/** Size-bucketed free-list allocator of FP32 tiles; see file comment. */
+class TilePool
+{
+  public:
+    TilePool() = default;
+    ~TilePool();
+    TilePool(const TilePool &) = delete;
+    TilePool &operator=(const TilePool &) = delete;
+
+    /** The process-wide pool used by makeDataChunk and the FUs. */
+    static TilePool &instance();
+
+    /**
+     * Acquire a tile of at least @p elems floats. Contents are
+     * uninitialized; the caller fills via TileRef::mutableData().
+     */
+    TileRef acquire(std::uint64_t elems);
+
+    /** @{ Stats (for tests and reports). */
+    std::uint64_t buffersAllocated() const { return buffers_allocated_; }
+    std::uint64_t acquires() const { return acquires_; }
+    std::uint64_t reuses() const { return reuses_; }
+    std::uint64_t liveTiles() const { return live_; }
+    /** @} */
+
+  private:
+    friend class TileRef;
+
+    /** Smallest bucket: 2^6 = 64 elements (a 8x8 FP32 tile). */
+    static constexpr std::uint32_t kMinElemsLog2 = 6;
+    /** Largest bucket: 2^31 elements (8 GiB); far above any tile. */
+    static constexpr std::uint32_t kBuckets = 26;
+
+    static std::uint32_t
+    bucketFor(std::uint64_t elems)
+    {
+        std::uint32_t log2 = std::bit_width(elems - 1);
+        return log2 <= kMinElemsLog2 ? 0 : log2 - kMinElemsLog2;
+    }
+
+    void retire(detail::TileHdr *h);
+
+    std::array<detail::TileHdr *, kBuckets> free_{};
+    std::uint64_t buffers_allocated_ = 0;
+    std::uint64_t acquires_ = 0;
+    std::uint64_t reuses_ = 0;
+    std::uint64_t live_ = 0;
+};
+
+inline void
+TileRef::release()
+{
+    if (!h_)
+        return;
+    rsn_assert(h_->refs > 0, "tile refcount underflow");
+    if (--h_->refs == 0)
+        h_->pool->retire(h_);
+    h_ = nullptr;
+}
+
+} // namespace rsn::sim
+
+#endif // RSN_SIM_TILE_POOL_HH

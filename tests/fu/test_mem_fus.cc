@@ -280,8 +280,7 @@ TEST(MemCFu, SoftmaxAppliedOnRecv)
     r.fu.start();
     ASSERT_TRUE(r.h.run());
     auto expect = ref::softmax(m);
-    ref::Matrix gm(2, 4);
-    gm.data = *got[0].data;
+    ref::Matrix gm(2, 4, got[0].data.data());
     EXPECT_TRUE(ref::allclose(gm, expect, 1e-5f, 1e-6f));
     // Rows sum to one.
     EXPECT_NEAR(gm.at(0, 0) + gm.at(0, 1) + gm.at(0, 2) + gm.at(0, 3),
@@ -324,8 +323,7 @@ TEST(MemCFu, ResidualAddAndLayerNormWithParams)
     std::vector<float> gamma(params.begin(), params.begin() + 4);
     std::vector<float> beta(params.begin() + 4, params.end());
     auto expect = ref::layernorm(ref::add(x, res), gamma, beta);
-    ref::Matrix gm(2, 4);
-    gm.data = *got[0].data;
+    ref::Matrix gm(2, 4, got[0].data.data());
     EXPECT_TRUE(ref::allclose(gm, expect, 1e-4f, 1e-5f));
 }
 
@@ -349,8 +347,7 @@ TEST(MemCFu, GeluMatchesReference)
     sim::Task col = r.h.collect(r.to_ddr, 1, got);
     r.fu.start();
     ASSERT_TRUE(r.h.run());
-    ref::Matrix gm(3, 3);
-    gm.data = *got[0].data;
+    ref::Matrix gm(3, 3, got[0].data.data());
     EXPECT_TRUE(ref::allclose(gm, ref::gelu(x), 1e-5f, 1e-6f));
 }
 

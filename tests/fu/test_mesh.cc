@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "fu/mesh.hh"
 #include "fu_harness.hh"
 
@@ -56,6 +58,47 @@ TEST(MeshFu, BroadcastReplicatesToAllDestinations)
         EXPECT_EQ(got[i][0].tag, 100u);
         EXPECT_EQ(got[i][1].tag, 200u);
     }
+}
+
+TEST(MeshFu, BroadcastSharesOneImmutablePooledPayload)
+{
+    // Broadcast must not copy the payload per destination: every
+    // receiver sees the *same* pooled tile by refcount, and the tile is
+    // no longer uniquely owned, so mutation (copy-on-transform
+    // violations) is structurally impossible.
+    MeshRig r;
+    sim::Stream &in = r.h.input(r.mesh, memA(0));
+    std::vector<sim::Stream *> outs;
+    for (int i = 0; i < 3; ++i)
+        outs.push_back(&r.h.output(r.mesh, mme(i)));
+
+    isa::MeshUop u;
+    u.repeats = 1;
+    u.mode = isa::MeshMode::Broadcast;
+    for (int i = 0; i < 3; ++i)
+        u.routes.push_back({memA(0), mme(i)});
+    sim::Task prog = r.h.program(r.mesh, {u});
+    sim::Task feed = r.h.feedChunks(
+        in, {sim::makeDataChunk(2, 2, {1.f, 2.f, 3.f, 4.f}, 9)});
+    std::vector<std::vector<sim::Chunk>> got(3);
+    std::vector<sim::Task> cols;
+    for (int i = 0; i < 3; ++i)
+        cols.push_back(r.h.collect(*outs[i], 1, got[i]));
+    r.mesh.start();
+    ASSERT_TRUE(r.h.run());
+    ASSERT_TRUE(got[0][0].hasData());
+    const float *payload = got[0][0].data.data();
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_EQ(got[i].size(), 1u);
+        ASSERT_TRUE(got[i][0].hasData());
+        EXPECT_EQ(got[i][0].data.data(), payload)
+            << "destination " << i << " got a private copy";
+        EXPECT_FALSE(got[i][0].data.unique());
+        EXPECT_FLOAT_EQ(got[i][0].at(1, 1), 4.f);
+    }
+    // Shared payloads reject writable access (immutability after
+    // pooling).
+    EXPECT_THROW((void)got[0][0].data.mutableData(), std::logic_error);
 }
 
 TEST(MeshFu, DistributeDealsRoundRobin)

@@ -99,8 +99,7 @@ TEST(MmeFu, ComputesSingleTileProduct)
     ASSERT_TRUE(r.mme.halted());
     ASSERT_EQ(got.size(), 1u);
     auto expect = ref::matmul(a, b);
-    ref::Matrix gm(8, 10);
-    gm.data = *got[0].data;
+    ref::Matrix gm(8, 10, got[0].data.data());
     EXPECT_TRUE(ref::allclose(gm, expect, 1e-5f, 1e-6f));
 }
 
@@ -123,8 +122,7 @@ TEST(MmeFu, AccumulatesAlongK)
     ASSERT_TRUE(r.h.run());
     ASSERT_EQ(got.size(), 1u);
     auto expect = ref::add(ref::matmul(a1, b1), ref::matmul(a2, b2));
-    ref::Matrix gm(4, 5);
-    gm.data = *got[0].data;
+    ref::Matrix gm(4, 5, got[0].data.data());
     EXPECT_TRUE(ref::allclose(gm, expect, 1e-5f, 1e-6f));
 }
 
@@ -148,8 +146,7 @@ TEST(MmeFu, AddsBiasChunkBeforeTiles)
     ASSERT_TRUE(r.h.run());
     ASSERT_EQ(got.size(), 1u);
     auto expect = ref::addBias(ref::matmul(a, b), bias.data);
-    ref::Matrix gm(4, 6);
-    gm.data = *got[0].data;
+    ref::Matrix gm(4, 6, got[0].data.data());
     EXPECT_TRUE(ref::allclose(gm, expect, 1e-5f, 1e-6f));
 }
 

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Benchmark regression check: run the sim-kernel microbenchmarks and
+# compare items/sec against the committed BENCH_sim.json snapshot.
+#
+# A benchmark regresses when it falls below TOLERANCE x the committed
+# value (default 0.70, i.e. >30% slower — wide enough for noisy CI
+# runners, tight enough to catch real hot-path regressions). Exits
+# nonzero on any regression; the CI job wiring is non-blocking
+# (continue-on-error), so this shows up as a visible red mark without
+# gating the merge.
+#
+# Usage: tools/bench_check.sh [build-dir] [baseline-json]
+#   TOLERANCE=0.5 tools/bench_check.sh   # override the threshold
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+BASELINE="${2:-BENCH_sim.json}"
+TOLERANCE="${TOLERANCE:-0.70}"
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "error: baseline $BASELINE not found" >&2
+    exit 2
+fi
+
+if [[ ! -x "$BUILD/bench_micro_sim" ]]; then
+    cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$BUILD" -j "$(nproc)" --target bench_micro_sim
+fi
+
+CURRENT="$(mktemp --suffix=.json)"
+trap 'rm -f "$CURRENT"' EXIT
+tools/bench_json.sh "$BUILD" "$CURRENT"
+
+python3 - "$BASELINE" "$CURRENT" "$TOLERANCE" <<'EOF'
+import json
+import sys
+
+baseline = json.load(open(sys.argv[1]))["events_per_second"]
+current = json.load(open(sys.argv[2]))["events_per_second"]
+tolerance = float(sys.argv[3])
+
+rows = []
+regressed = []
+for name, base in sorted(baseline.items()):
+    cur = current.get(name)
+    base_ips = base.get("items_per_second")
+    if cur is None or base_ips is None:
+        continue  # renamed/removed benchmark: not a regression
+    cur_ips = cur.get("items_per_second") or 0.0
+    ratio = cur_ips / base_ips if base_ips else float("inf")
+    ok = ratio >= tolerance
+    rows.append((name, base_ips, cur_ips, ratio, ok))
+    if not ok:
+        regressed.append(name)
+
+w = max(len(r[0]) for r in rows) if rows else 10
+print(f"{'benchmark':<{w}}  {'baseline':>12}  {'current':>12}  "
+      f"{'ratio':>6}")
+for name, base_ips, cur_ips, ratio, ok in rows:
+    mark = "" if ok else "  << REGRESSED"
+    print(f"{name:<{w}}  {base_ips:12.3e}  {cur_ips:12.3e}  "
+          f"{ratio:6.2f}{mark}")
+
+new = sorted(set(current) - set(baseline))
+if new:
+    print("\nnew benchmarks (no baseline): " + ", ".join(new))
+
+if regressed:
+    print(f"\nFAIL: {len(regressed)} benchmark(s) below "
+          f"{tolerance:.2f}x baseline: " + ", ".join(regressed))
+    sys.exit(1)
+print(f"\nOK: all {len(rows)} benchmarks within {tolerance:.2f}x "
+      "of baseline")
+EOF

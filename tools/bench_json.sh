@@ -37,8 +37,9 @@ out = {
 for b in raw["benchmarks"]:
     entry = {"items_per_second": b.get("items_per_second"),
              "cpu_time_ns": b.get("cpu_time")}
-    if "allocs_per_event" in b:
-        entry["allocs_per_event"] = b["allocs_per_event"]
+    for counter in ("allocs_per_event", "allocs_per_chunk"):
+        if counter in b:
+            entry[counter] = b[counter]
     out["events_per_second"][b["name"]] = entry
 json.dump(out, open(sys.argv[2], "w"), indent=2)
 print(f"wrote {sys.argv[2]}")

@@ -68,6 +68,7 @@ namespace {
 
 using rsn::Tick;
 using rsn::sim::Channel;
+using rsn::sim::Chunk;
 using rsn::sim::Engine;
 using rsn::sim::makeChunk;
 using rsn::sim::makeTileChunk;
@@ -309,6 +310,70 @@ BM_StreamPooledPayloadTransfer(benchmark::State &state)
         chunks ? double(allocs) / double(chunks) : 0.0;
 }
 BENCHMARK(BM_StreamPooledPayloadTransfer)->Arg(1000)->Arg(10000);
+
+Task
+stagedSliceSender(Stream &s, int n)
+{
+    // The MemA/B/C staging pattern (fu/mem_fus.cc): one tile staged in
+    // the scratchpad, row-slices leaving as refcount-aliased views — no
+    // acquire, no copy per chunk.
+    TileRef staged = TilePool::instance().acquire(256 * 64);
+    float *d = staged.mutableData();
+    for (int i = 0; i < 256 * 64; ++i)
+        d[i] = float(i & 1023);
+    constexpr std::uint64_t kSliceElems = 2 * 64;
+    for (int i = 0; i < n; ++i) {
+        std::uint64_t off = (std::uint64_t(i) % 128) * kSliceElems;
+        co_await s.send(
+            makeTileChunk(2, 64, staged.slice(off, kSliceElems), i));
+    }
+}
+
+Task
+stagedAssemblingReceiver(Stream &s, int n, double &sum)
+{
+    // The MemC side: gather arriving slices into one pooled staging
+    // tile held across the whole stream.
+    TileRef staging = TilePool::instance().acquire(256 * 64);
+    float *dst = staging.mutableData();
+    for (int i = 0; i < n; ++i) {
+        Chunk c = co_await s.recv();
+        std::copy_n(c.data.data(), c.elems(),
+                    dst + (std::uint64_t(i) % 128) * c.elems());
+        sum += dst[std::uint64_t(i) % 128 * c.elems()];
+    }
+}
+
+/** The Mem FU staging path in isolation: slice-view publish, stream
+ *  transfer, receive-and-assemble. Reports allocs/tile after warmup
+ *  (must be ~0, pinned by tests/fu/test_mem_fus_alloc.cc). */
+void
+BM_MemStagingTransfer(benchmark::State &state)
+{
+    std::uint64_t allocs = 0;
+    std::uint64_t tiles = 0;
+    for (auto _ : state) {
+        Engine e;
+        Stream s(e, 256.0, 4, "bench-staging");
+        double sum = 0;
+        Task snd = stagedSliceSender(s, state.range(0));
+        Task rcv = stagedAssemblingReceiver(s, state.range(0), sum);
+        // Each 2x64 chunk holds the 256 B/tick link for 2 ticks, so this
+        // warms up over ~128 chunks and leaves the bulk of the workload
+        // (even at Arg(1000)) inside the measured window.
+        e.run(256);
+        std::uint64_t warm = s.chunksTransferred();
+        std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+        e.run();
+        allocs += g_allocs.load(std::memory_order_relaxed) - before;
+        tiles += s.chunksTransferred() - warm;
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+    state.counters["allocs_per_tile"] =
+        tiles ? double(allocs) / double(tiles) : 0.0;
+}
+BENCHMARK(BM_MemStagingTransfer)->Arg(1000)->Arg(10000);
 
 } // namespace
 

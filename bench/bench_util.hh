@@ -4,12 +4,19 @@
  * compile a model with given schedule options, run it, and return the
  * interesting aggregates. Every bench binary prints paper-reported
  * values alongside measured ones so the reproduction is auditable.
+ *
+ * Runs go through a BenchContext, which keeps one machine alive across
+ * data points: as long as consecutive runs use an equal MachineConfig
+ * (the common case — a figure sweeps batch size or schedule options on
+ * one datapath), the machine is reset() between runs instead of being
+ * rebuilt, so a sweep pays the datapath construction cost once.
  */
 
 #ifndef RSN_BENCH_BENCH_UTIL_HH
 #define RSN_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "core/machine.hh"
@@ -29,26 +36,65 @@ struct EncoderRun {
     std::uint64_t mm_flops = 0;
 };
 
-/** Compile + run @p model on a fresh VCK190 machine (timing-only). */
+/**
+ * A reusable machine/run context for benchmark sweeps. machine() hands
+ * back a pristine machine for @p cfg: the cached instance reset between
+ * runs while the configuration stays the same, a freshly built one when
+ * the configuration changes (or the previous run deadlocked / timed
+ * out, which leaves a machine that cannot be reset).
+ */
+class BenchContext
+{
+  public:
+    /** A pristine machine for @p cfg (cached or rebuilt; see above). */
+    core::RsnMachine &
+    machine(const core::MachineConfig &cfg)
+    {
+        if (mach_ && cfg_ == cfg && mach_->resettable())
+            mach_->reset();
+        else
+            mach_ = std::make_unique<core::RsnMachine>(cfg_ = cfg);
+        return *mach_;
+    }
+
+    /** Compile + run @p model (timing-only) and gather the aggregates. */
+    EncoderRun
+    run(const lib::Model &model, lib::ScheduleOptions opts,
+        const core::MachineConfig &cfg = core::MachineConfig::vck190())
+    {
+        core::RsnMachine &mach = machine(cfg);
+        auto compiled = lib::compileModel(mach, model, opts);
+        EncoderRun out;
+        out.result = mach.run(compiled.program);
+        if (!out.result.completed) {
+            std::fprintf(stderr, "run did not complete:\n%s\n",
+                         out.result.diagnosis.c_str());
+        }
+        out.achieved_tflops = mach.achievedTflops(out.result);
+        out.ddr_read_mb = mach.ddrChannel().bytesRead() / 1e6;
+        out.ddr_write_mb = mach.ddrChannel().bytesWritten() / 1e6;
+        out.lpddr_read_mb = mach.lpddrChannel().bytesRead() / 1e6;
+        out.packets = compiled.program.size();
+        out.mm_flops = compiled.mm_flops;
+        return out;
+    }
+
+  private:
+    core::MachineConfig cfg_;
+    std::unique_ptr<core::RsnMachine> mach_;
+};
+
+/**
+ * Compile + run @p model on the process-wide bench context. Figure/table
+ * binaries call this per data point; equal-config points share one
+ * machine.
+ */
 inline EncoderRun
 runModel(const lib::Model &model, lib::ScheduleOptions opts,
-         core::MachineConfig cfg = core::MachineConfig::vck190())
+         const core::MachineConfig &cfg = core::MachineConfig::vck190())
 {
-    core::RsnMachine mach(cfg);
-    auto compiled = lib::compileModel(mach, model, opts);
-    EncoderRun out;
-    out.result = mach.run(compiled.program);
-    if (!out.result.completed) {
-        std::fprintf(stderr, "run did not complete:\n%s\n",
-                     out.result.diagnosis.c_str());
-    }
-    out.achieved_tflops = mach.achievedTflops(out.result);
-    out.ddr_read_mb = mach.ddrChannel().bytesRead() / 1e6;
-    out.ddr_write_mb = mach.ddrChannel().bytesWritten() / 1e6;
-    out.lpddr_read_mb = mach.lpddrChannel().bytesRead() / 1e6;
-    out.packets = compiled.program.size();
-    out.mm_flops = compiled.mm_flops;
-    return out;
+    static BenchContext ctx;
+    return ctx.run(model, opts, cfg);
 }
 
 /** A single linear-layer model (for per-segment experiments). */

@@ -9,6 +9,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "core/machine.hh"
 #include "lib/codegen.hh"

@@ -66,6 +66,8 @@ inline constexpr FuId kNoFu{};
 struct ClockSpec {
     double plHz = 260e6;    ///< PL fabric clock (simulation tick).
     double aieHz = 1.25e9;  ///< AIE array clock.
+
+    bool operator==(const ClockSpec &) const = default;
 };
 
 /** Convert ticks (PL cycles) to milliseconds for a given PL frequency. */

@@ -26,6 +26,8 @@ struct StreamWidths {
     double meshb_to_mme = 192;   ///< MeshB -> each MME (~50 GB/s).
     double mme_to_memc = 385;    ///< MME -> partner MemC (~100 GB/s).
     double memc_to_ddr = 127;    ///< MemC -> DDR FU store path.
+
+    bool operator==(const StreamWidths &) const = default;
 };
 
 /** Per-FU-type scratchpad capacities (Fig. 16), for reporting. */
@@ -35,6 +37,8 @@ struct FuMemories {
     Bytes mem_b01 = 512 * 1024;  ///< MemB0/MemB1.
     Bytes mem_b2 = 256 * 1024;
     Bytes mem_c = 1024 * 1024;
+
+    bool operator==(const FuMemories &) const = default;
 };
 
 struct MachineConfig {
@@ -69,6 +73,10 @@ struct MachineConfig {
 
     mem::LayoutKind offchip_layout = mem::LayoutKind::Blocked;
     bool functional = false;  ///< Carry FP32 payloads through the network.
+
+    /** Member-wise equality (bench_util reuses a machine across equal
+     *  configurations instead of rebuilding the datapath). */
+    bool operator==(const MachineConfig &) const = default;
 
     /** The RSN-XNN prototype configuration. */
     static MachineConfig vck190(bool functional = false);

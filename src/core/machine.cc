@@ -172,10 +172,31 @@ RsnMachine::stream(FuId src, FuId dst)
     return nullptr;
 }
 
+void
+RsnMachine::reset()
+{
+    rsn_assert(resettable(),
+               "reset of a machine whose run did not complete");
+    rsn_assert(eng_.idle(), "reset with pending engine events");
+    // FUs and the decoder first: their finished coroutine frames may
+    // still hold chunk payloads that retire to the tile pool here.
+    for (auto &f : fus_)
+        f->reset();
+    decoder_->reset();
+    for (auto &s : streams_)
+        s->reset();
+    ddr_chan_->reset();
+    lpddr_chan_->reset();
+    host_.reset();
+    eng_.reset();
+    ran_ = false;
+    ran_completed_ = false;
+}
+
 RunResult
 RsnMachine::run(const isa::RsnProgram &prog, Tick max_ticks)
 {
-    rsn_assert(!ran_, "RsnMachine::run may only be called once");
+    rsn_assert(!ran_, "RsnMachine::run needs a fresh or reset() machine");
     ran_ = true;
     prog.validate();
 
@@ -194,6 +215,7 @@ RsnMachine::run(const isa::RsnProgram &prog, Tick max_ticks)
     r.completed = quiesced && all_halted && decoder_->done();
     r.deadlocked = quiesced && !r.completed;
     r.timed_out = !quiesced;
+    ran_completed_ = r.completed;
     if (!r.completed)
         r.diagnosis = stallReport();
     return r;

@@ -6,8 +6,12 @@
  * DDR and LPDDR mover FUs — wires the stream network from the topology,
  * attaches the three-level instruction decoder, and runs RSN programs.
  *
- * A machine runs exactly one program (simulated time is monotonic);
- * experiments construct one machine per configuration point.
+ * A machine runs one program at a time (simulated time is monotonic
+ * within a run). After a *completed* run, reset() rewinds the machine to
+ * a pristine state — clock at 0, FU/stream/DRAM stats cleared, host
+ * memory empty — so sweeps can reuse one machine per configuration
+ * instead of rebuilding the full datapath per data point
+ * (bench/bench_util.hh holds such a cached machine).
  */
 
 #ifndef RSN_CORE_MACHINE_HH
@@ -69,6 +73,21 @@ class RsnMachine
     RunResult run(const isa::RsnProgram &prog,
                   Tick max_ticks = Tick(200) * 1000 * 1000 * 1000);
 
+    /**
+     * Rewind the machine for another program: engine clock to 0, FU /
+     * stream / DRAM / decoder state and stats cleared, host memory
+     * emptied (previously compiled models' tensor addresses become
+     * invalid). Only legal before any run or after a run that
+     * *completed* — a deadlocked or timed-out run leaves suspended
+     * kernels whose frames must not be destroyed under a live engine;
+     * rebuild the machine instead. resettable() reports which case
+     * applies.
+     */
+    void reset();
+
+    /** True when reset() may be called (no run yet, or it completed). */
+    bool resettable() const { return !ran_ || ran_completed_; }
+
     /** @{ Introspection for Fig. 16 / Table 5 / power model. */
     std::uint64_t totalFlops() const;
     double achievedTflops(const RunResult &r) const;
@@ -94,6 +113,7 @@ class RsnMachine
     std::vector<net::Edge> stream_edges_;
     std::unique_ptr<isa::DecoderUnit> decoder_;
     bool ran_ = false;
+    bool ran_completed_ = false;
 };
 
 } // namespace rsn::core

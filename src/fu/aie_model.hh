@@ -34,6 +34,8 @@ struct AieModelParams {
     double drain_bytes_per_cycle = 21.33;  ///< Output drain rate.
     double aie_hz = 1.25e9;
     double pl_hz = 260e6;
+
+    bool operator==(const AieModelParams &) const = default;
 };
 
 class AieModel

@@ -19,6 +19,20 @@ Fu::start()
 }
 
 void
+Fu::reset()
+{
+    rsn_assert(!started_ || halted_, "%s reset while still running",
+               name_.c_str());
+    rsn_assert(uop_q_.empty(), "%s reset with queued uOPs", name_.c_str());
+    loop_ = {};
+    stats_ = {};
+    started_ = false;
+    halted_ = false;
+    in_kernel_ = false;
+    resetKernelState();
+}
+
+void
 Fu::addInput(FuId from, sim::Stream *s)
 {
     rsn_assert(!hasInput(from), "duplicate input port");

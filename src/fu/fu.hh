@@ -54,8 +54,17 @@ class Fu
     /** The uOP queue the instruction decoder pushes into. */
     sim::Channel<isa::Uop> &uopQueue() { return uop_q_; }
 
-    /** Spawn the kernel main loop. Call once, before Engine::run. */
+    /** Spawn the kernel main loop. Call once per run, before Engine::run. */
     void start();
+
+    /**
+     * Return the FU to its pre-start state so the owning machine can run
+     * another program: destroys the finished kernel-loop frame, zeroes
+     * stats, and drops subclass kernel state (staged tiles, ping-pong
+     * phase). Only legal before start() or after the loop halted — a
+     * suspended kernel must never be destroyed under a live engine.
+     */
+    void reset();
 
     /** True once a Halt uOP terminated the kernel loop. */
     bool halted() const { return halted_; }
@@ -88,6 +97,9 @@ class Fu
   protected:
     /** Execute one kernel; implemented per FU type. */
     virtual sim::Task runKernel(const isa::Uop &uop) = 0;
+
+    /** Subclass hook for reset(): drop state kernels carry across uOPs. */
+    virtual void resetKernelState() {}
 
     /** @{ Stats helpers used by kernels. */
     void countIn(const sim::Chunk &c) { stats_.bytes_in += c.bytes; }

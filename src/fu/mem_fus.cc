@@ -29,18 +29,22 @@ sliceRows(std::uint32_t total, std::uint32_t slices)
 
 namespace {
 
-/** Copy a row-slice out of a tile buffer (functional runs only). */
+/**
+ * Publish a row-slice of a staged tile (functional runs only). This is a
+ * refcount-aliased view of the buffer — no acquire, no copy: consumers
+ * read [row_off*cols, (row_off+rows)*cols) of the parent tile directly.
+ */
 sim::Chunk
 sliceChunk(const TileBuffer &buf, std::uint32_t row_off,
            std::uint32_t rows, std::uint32_t tag)
 {
     if (!buf.hasData())
         return sim::makeChunk(rows, buf.cols, tag);
-    std::size_t n = std::size_t(rows) * buf.cols;
-    sim::TileRef t = sim::TilePool::instance().acquire(n);
-    std::copy_n(buf.data.begin() + std::size_t(row_off) * buf.cols, n,
-                t.mutableData());
-    return sim::makeTileChunk(rows, buf.cols, std::move(t), tag);
+    return sim::makeTileChunk(
+        rows, buf.cols,
+        buf.tile.slice(std::uint64_t(row_off) * buf.cols,
+                       std::uint64_t(rows) * buf.cols),
+        tag);
 }
 
 } // namespace
@@ -59,10 +63,9 @@ MemAFu::loadPart(const isa::MemAUop &u, TileBuffer &buf)
     countIn(c);
     buf.rows = c.rows;
     buf.cols = c.cols;
-    if (c.hasData())
-        buf.data.assign(c.data.data(), c.data.data() + c.elems());
-    else
-        buf.data.clear();
+    // Adopt the payload tile by reference: the DDR FU loaded it straight
+    // from host memory into a pooled tile, so staging is a pointer move.
+    buf.tile = std::move(c.data);
 }
 
 sim::Task
@@ -101,6 +104,14 @@ MemAFu::runKernel(const isa::Uop &uop)
     }
 }
 
+void
+MemAFu::resetKernelState()
+{
+    ping_ = {};
+    pong_ = {};
+    recv_to_ping_ = true;
+}
+
 // ---------------------------------------------------------------- MemB --
 
 MemBFu::MemBFu(sim::Engine &eng, FuId id, FuId mesh_dst)
@@ -117,20 +128,23 @@ MemBFu::loadPart(const isa::MemBUop &u, TileBuffer &buf)
         buf.rows = c.cols;
         buf.cols = c.rows;
         if (c.hasData()) {
-            buf.data.assign(c.elems(), 0.f);
+            // Transposition is a transform: fill a fresh pooled tile
+            // (the incoming chunk may be shared and stays immutable).
+            sim::TileRef t = sim::TilePool::instance().acquire(c.elems());
+            const float *src = c.data.data();
+            float *dst = t.mutableData();
             for (std::uint32_t i = 0; i < c.rows; ++i)
                 for (std::uint32_t j = 0; j < c.cols; ++j)
-                    buf.data[std::size_t(j) * c.rows + i] = c.at(i, j);
+                    dst[std::size_t(j) * c.rows + i] =
+                        src[std::size_t(i) * c.cols + j];
+            buf.tile = std::move(t);
         } else {
-            buf.data.clear();
+            buf.tile.release();
         }
     } else {
         buf.rows = c.rows;
         buf.cols = c.cols;
-        if (c.hasData())
-            buf.data.assign(c.data.data(), c.data.data() + c.elems());
-        else
-            buf.data.clear();
+        buf.tile = std::move(c.data);
     }
 }
 
@@ -165,6 +179,14 @@ MemBFu::runKernel(const isa::Uop &uop)
     }
 }
 
+void
+MemBFu::resetKernelState()
+{
+    ping_ = {};
+    pong_ = {};
+    recv_to_ping_ = true;
+}
+
 // ---------------------------------------------------------------- MemC --
 
 MemCFu::MemCFu(sim::Engine &eng, FuId id, FuId mme_src, FuId ddr,
@@ -178,71 +200,97 @@ MemCFu::MemCFu(sim::Engine &eng, FuId id, FuId mme_src, FuId ddr,
 sim::Task
 MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
 {
-    // Assemble the tile from the partner MME.
+    // Assemble the tile from the partner MME. A single-chunk tile is
+    // adopted by reference; multi-chunk tiles gather into one pooled
+    // staging tile sized from the first chunk (the first slice carries
+    // the remainder, so first.rows * recv_chunks bounds the total).
     buf.rows = 0;
     buf.cols = 0;
-    buf.data.clear();
+    buf.tile.release();
+    std::uint64_t staged_cap = 0;
     std::uint32_t row_fill = 0;
     for (std::uint32_t i = 0; i < u.recv_chunks; ++i) {
         sim::Chunk c = co_await in(mme_src_).recv();
         countIn(c);
         if (i == 0) {
             buf.cols = c.cols;
-            buf.rows = c.rows * u.recv_chunks;
-            if (c.hasData())
-                buf.data.assign(std::size_t(buf.rows) * buf.cols, 0.f);
+            if (c.hasData()) {
+                if (u.recv_chunks == 1) {
+                    buf.tile = std::move(c.data);
+                    row_fill = c.rows;
+                    break;
+                }
+                staged_cap = std::uint64_t(c.rows) * u.recv_chunks *
+                             c.cols;
+                buf.tile = sim::TilePool::instance().acquire(staged_cap);
+            }
         }
-        if (c.hasData() && !buf.data.empty()) {
+        if (c.hasData() && buf.hasData()) {
+            std::uint64_t at = std::uint64_t(row_fill) * buf.cols;
+            rsn_assert(at + c.elems() <= staged_cap,
+                       "%s tile assembly overflow", name().c_str());
             std::copy_n(c.data.data(), c.elems(),
-                        buf.data.begin() +
-                            std::size_t(row_fill) * buf.cols);
+                        buf.tile.mutableData() + at);
         }
         row_fill += c.rows;
     }
     buf.rows = row_fill;
-    if (!buf.data.empty())
-        buf.data.resize(std::size_t(buf.rows) * buf.cols);
 
     double flops = 0;
     const double elems = double(buf.rows) * buf.cols;
+    const std::uint64_t n = std::uint64_t(buf.rows) * buf.cols;
+
+    // Writable staging data, taken lazily on the first fused operator:
+    // in place when this MemC is the tile's sole owner (the steady
+    // state), copy-on-write when the producer still shares it.
+    float *td = nullptr;
+    auto owned = [&]() {
+        if (!td)
+            td = buf.tile.ensureUnique(n);
+        return td;
+    };
 
     if (u.add_residual) {
         sim::Chunk res = co_await in(ddr_).recv();
         countIn(res);
-        if (res.hasData() && !buf.data.empty())
-            addInplace(buf.data, res.data.data(), res.elems());
+        if (res.hasData() && buf.hasData()) {
+            rsn_assert(res.elems() == n, "residual shape mismatch");
+            addInplace(owned(), res.data.data(), n);
+        }
         flops += elems * kResidualFlopsPerElem;
     }
-    std::vector<float> gamma, beta;
+    // Gamma/beta arrive as a 2 x cols block from the LPDDR FU; the chunk
+    // is kept alive so the parameters are read in place, no copies.
+    sim::Chunk params;
     if (u.scale_shift) {
-        // Gamma/beta arrive as a 2 x cols block from the LPDDR FU.
-        sim::Chunk p = co_await in(FuId{FuType::Lpddr, 0}).recv();
-        countIn(p);
-        if (p.hasData()) {
-            const float *pd = p.data.data();
-            gamma.assign(pd, pd + p.cols);
-            beta.assign(pd + p.cols, pd + 2 * p.cols);
-        }
+        params = co_await in(FuId{FuType::Lpddr, 0}).recv();
+        countIn(params);
         flops += elems * kScaleShiftFlopsPerElem;
     }
 
     if (u.softmax) {
-        if (!buf.data.empty())
-            softmaxRows(buf.data, buf.rows, buf.cols);
+        if (buf.hasData())
+            softmaxRows(owned(), buf.rows, buf.cols);
         flops += elems * kSoftmaxFlopsPerElem;
     }
     if (u.gelu) {
-        if (!buf.data.empty())
-            geluInplace(buf.data);
+        if (buf.hasData())
+            geluInplace(owned(), n);
         flops += elems * kGeluFlopsPerElem;
     }
     if (u.layernorm) {
-        if (!buf.data.empty())
-            layernormRows(buf.data, buf.rows, buf.cols);
+        if (buf.hasData())
+            layernormRows(owned(), buf.rows, buf.cols);
         flops += elems * kLayernormFlopsPerElem;
     }
-    if (u.scale_shift && !buf.data.empty() && !gamma.empty())
-        scaleShiftRows(buf.data, buf.rows, buf.cols, gamma, beta);
+    if (u.scale_shift && buf.hasData() && params.hasData()) {
+        rsn_assert(params.cols >= buf.cols,
+                   "%s gamma/beta block narrower than tile (%u < %u)",
+                   name().c_str(), params.cols, buf.cols);
+        const float *gamma = params.data.data();
+        scaleShiftRows(owned(), buf.rows, buf.cols, gamma,
+                       gamma + params.cols);
+    }
 
     if (flops > 0) {
         countFlops(static_cast<std::uint64_t>(flops));
@@ -298,6 +346,14 @@ MemCFu::runKernel(const isa::Uop &uop)
     } else if (u.store || u.send_mme) {
         co_await sendPart(u, send_buf);
     }
+}
+
+void
+MemCFu::resetKernelState()
+{
+    ping_ = {};
+    pong_ = {};
+    recv_to_ping_ = true;
 }
 
 } // namespace rsn::fu

@@ -8,6 +8,13 @@
  * fused non-MM operators (Softmax, GELU, LayerNorm, scale & shift,
  * residual add) and can re-inject results into the network as the next
  * layer's operand (dynamic pipeline chaining).
+ *
+ * Staging is zero-copy: a TileBuffer holds a pooled sim::TileRef, loads
+ * adopt the incoming chunk's tile by reference, and row-slices leave as
+ * offset/length views aliasing the buffered tile (sim/tile_pool.hh).
+ * MemC, the only writer, takes ownership of its staging tile with
+ * TileRef::ensureUnique (copy-on-write) before fusing operators in
+ * place. Ownership rules are documented in docs/datapath.md.
  */
 
 #ifndef RSN_FU_MEM_FUS_HH
@@ -23,9 +30,9 @@ namespace rsn::fu {
 struct TileBuffer {
     std::uint32_t rows = 0;
     std::uint32_t cols = 0;
-    std::vector<float> data;  ///< Empty in timing-only runs.
+    sim::TileRef tile;  ///< Empty in timing-only runs.
 
-    bool hasData() const { return !data.empty(); }
+    bool hasData() const { return static_cast<bool>(tile); }
 };
 
 /** LHS scratchpad. Sends row-slices of the buffered tile toward MeshA. */
@@ -36,6 +43,7 @@ class MemAFu : public Fu
 
   protected:
     sim::Task runKernel(const isa::Uop &uop) override;
+    void resetKernelState() override;
 
   private:
     sim::Task loadPart(const isa::MemAUop &u, TileBuffer &buf);
@@ -54,6 +62,7 @@ class MemBFu : public Fu
 
   protected:
     sim::Task runKernel(const isa::Uop &uop) override;
+    void resetKernelState() override;
 
   private:
     sim::Task loadPart(const isa::MemBUop &u, TileBuffer &buf);
@@ -79,6 +88,7 @@ class MemCFu : public Fu
 
   protected:
     sim::Task runKernel(const isa::Uop &uop) override;
+    void resetKernelState() override;
 
   private:
     sim::Task recvPart(const isa::MemCUop &u, TileBuffer &buf);

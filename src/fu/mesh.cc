@@ -15,8 +15,8 @@ MeshFu::broadcastKernel(const isa::MeshUop &u)
         countIn(c);
         // Replicate to every destination and let the transfers overlap
         // (distinct output links). The copies share one pooled payload by
-        // refcount; receivers get read-only views and must acquire a
-        // fresh tile to transform (copy-on-transform).
+        // refcount; receivers get read-only views and must take
+        // ownership (TileRef::ensureUnique, copy-on-write) to transform.
         for (const auto &r : u.routes) {
             sim::Chunk copy = c;
             countOut(copy);

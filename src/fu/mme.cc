@@ -67,16 +67,22 @@ MmeFu::runKernel(const isa::Uop &uop)
                     acc = sim::TilePool::instance().acquire(out_elems);
                     std::fill_n(acc.mutableData(), out_elems, 0.f);
                 }
-                // Accumulating tile product (output-stationary).
+                // Accumulating tile product (output-stationary). The
+                // operands are often refcount-aliased views of a Mem FU's
+                // staging tile; read them through raw row pointers.
                 float *accp = acc.mutableData();
+                const float *lp = lhs.data.data();
+                const float *rp = rhs.data.data();
                 for (std::uint32_t i = 0; i < lhs.rows; ++i) {
+                    const float *lrow = lp + std::size_t(i) * lhs.cols;
+                    float *dst = accp + std::size_t(i) * out_cols;
                     for (std::uint32_t k = 0; k < lhs.cols; ++k) {
-                        float av = lhs.at(i, k);
+                        float av = lrow[k];
                         if (av == 0.f)
                             continue;
-                        float *dst = accp + std::size_t(i) * out_cols;
+                        const float *rrow = rp + std::size_t(k) * rhs.cols;
                         for (std::uint32_t j = 0; j < rhs.cols; ++j)
-                            dst[j] += av * rhs.at(k, j);
+                            dst[j] += av * rrow[j];
                     }
                 }
             }
@@ -101,10 +107,10 @@ MmeFu::runKernel(const isa::Uop &uop)
                 if (bias.hasData()) {
                     rsn_assert(bias.cols == out_cols, "bias width");
                     float *accp = acc.mutableData();
+                    const float *bp = bias.data.data();
                     for (std::uint32_t i = 0; i < out_rows; ++i)
                         for (std::uint32_t j = 0; j < out_cols; ++j)
-                            accp[std::size_t(i) * out_cols + j] +=
-                                bias.at(0, j);
+                            accp[std::size_t(i) * out_cols + j] += bp[j];
                     countFlops(std::uint64_t(out_rows) * out_cols);
                 }
                 result = sim::makeTileChunk(out_rows, out_cols,

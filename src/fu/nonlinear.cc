@@ -7,12 +7,10 @@
 namespace rsn::fu {
 
 void
-softmaxRows(std::vector<float> &tile, std::uint32_t rows,
-            std::uint32_t cols)
+softmaxRows(float *tile, std::uint32_t rows, std::uint32_t cols)
 {
-    rsn_assert(tile.size() == std::size_t(rows) * cols, "tile shape");
     for (std::uint32_t r = 0; r < rows; ++r) {
-        float *row = tile.data() + std::size_t(r) * cols;
+        float *row = tile + std::size_t(r) * cols;
         float mx = row[0];
         for (std::uint32_t c = 1; c < cols; ++c)
             mx = std::max(mx, row[c]);
@@ -28,21 +26,34 @@ softmaxRows(std::vector<float> &tile, std::uint32_t rows,
 }
 
 void
-geluInplace(std::vector<float> &tile)
+softmaxRows(std::vector<float> &tile, std::uint32_t rows,
+            std::uint32_t cols)
 {
-    constexpr float inv_sqrt2 = 0.70710678118654752f;
-    for (float &x : tile)
-        x = 0.5f * x * (1.0f + std::erf(x * inv_sqrt2));
+    rsn_assert(tile.size() == std::size_t(rows) * cols, "tile shape");
+    softmaxRows(tile.data(), rows, cols);
 }
 
 void
-layernormRows(std::vector<float> &tile, std::uint32_t rows,
-              std::uint32_t cols)
+geluInplace(float *tile, std::size_t n)
 {
-    rsn_assert(tile.size() == std::size_t(rows) * cols, "tile shape");
+    constexpr float inv_sqrt2 = 0.70710678118654752f;
+    for (std::size_t i = 0; i < n; ++i)
+        tile[i] = 0.5f * tile[i] *
+                  (1.0f + std::erf(tile[i] * inv_sqrt2));
+}
+
+void
+geluInplace(std::vector<float> &tile)
+{
+    geluInplace(tile.data(), tile.size());
+}
+
+void
+layernormRows(float *tile, std::uint32_t rows, std::uint32_t cols)
+{
     constexpr float eps = 1e-5f;
     for (std::uint32_t r = 0; r < rows; ++r) {
-        float *row = tile.data() + std::size_t(r) * cols;
+        float *row = tile + std::size_t(r) * cols;
         // Single-pass mean/variance (streaming-friendly form).
         double sum = 0, sumsq = 0;
         for (std::uint32_t c = 0; c < cols; ++c) {
@@ -58,32 +69,53 @@ layernormRows(std::vector<float> &tile, std::uint32_t rows,
 }
 
 void
-scaleShiftRows(std::vector<float> &tile, std::uint32_t rows,
-               std::uint32_t cols, const std::vector<float> &gamma,
-               const std::vector<float> &beta)
+layernormRows(std::vector<float> &tile, std::uint32_t rows,
+              std::uint32_t cols)
 {
-    rsn_assert(gamma.size() >= cols && beta.size() >= cols,
-               "scale/shift params too small");
+    rsn_assert(tile.size() == std::size_t(rows) * cols, "tile shape");
+    layernormRows(tile.data(), rows, cols);
+}
+
+void
+scaleShiftRows(float *tile, std::uint32_t rows, std::uint32_t cols,
+               const float *gamma, const float *beta)
+{
     for (std::uint32_t r = 0; r < rows; ++r) {
-        float *row = tile.data() + std::size_t(r) * cols;
+        float *row = tile + std::size_t(r) * cols;
         for (std::uint32_t c = 0; c < cols; ++c)
             row[c] = row[c] * gamma[c] + beta[c];
     }
 }
 
 void
+scaleShiftRows(std::vector<float> &tile, std::uint32_t rows,
+               std::uint32_t cols, const std::vector<float> &gamma,
+               const std::vector<float> &beta)
+{
+    rsn_assert(gamma.size() >= cols && beta.size() >= cols,
+               "scale/shift params too small");
+    scaleShiftRows(tile.data(), rows, cols, gamma.data(), beta.data());
+}
+
+void
+addInplace(float *tile, const float *other, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        tile[i] += other[i];
+}
+
+void
 addInplace(std::vector<float> &tile, const std::vector<float> &other)
 {
     rsn_assert(tile.size() == other.size(), "residual shape mismatch");
-    addInplace(tile, other.data(), other.size());
+    addInplace(tile.data(), other.data(), other.size());
 }
 
 void
 addInplace(std::vector<float> &tile, const float *other, std::size_t n)
 {
     rsn_assert(tile.size() == n, "residual shape mismatch");
-    for (std::size_t i = 0; i < n; ++i)
-        tile[i] += other[i];
+    addInplace(tile.data(), other, n);
 }
 
 } // namespace rsn::fu

@@ -5,21 +5,29 @@
  * residual add. These are the streaming implementations used by the
  * datapath; tests validate them against the independent naive versions in
  * src/ref.
+ *
+ * The raw-pointer forms are the datapath entry points — MemC applies them
+ * in place to a pooled staging tile (sim/tile_pool.hh) with no vector
+ * scratch. The std::vector overloads are convenience wrappers for tests
+ * and reference checks.
  */
 
 #ifndef RSN_FU_NONLINEAR_HH
 #define RSN_FU_NONLINEAR_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace rsn::fu {
 
 /** Numerically-stable row-wise softmax over a rows x cols tile. */
+void softmaxRows(float *tile, std::uint32_t rows, std::uint32_t cols);
 void softmaxRows(std::vector<float> &tile, std::uint32_t rows,
                  std::uint32_t cols);
 
-/** Exact (erf-based) GELU applied element-wise. */
+/** Exact (erf-based) GELU applied element-wise to @p n values. */
+void geluInplace(float *tile, std::size_t n);
 void geluInplace(std::vector<float> &tile);
 
 /**
@@ -27,18 +35,21 @@ void geluInplace(std::vector<float> &tile);
  * (eps = 1e-5). Scale & shift is applied separately so the ISA flags
  * compose the way Table 2 lists them.
  */
+void layernormRows(float *tile, std::uint32_t rows, std::uint32_t cols);
 void layernormRows(std::vector<float> &tile, std::uint32_t rows,
                    std::uint32_t cols);
 
-/** Apply gamma/beta per column: tile[r][c] = tile[r][c]*gamma[c]+beta[c]. */
+/** Apply gamma/beta per column: tile[r][c] = tile[r][c]*gamma[c]+beta[c].
+ *  @p gamma / @p beta point at >= cols values each. */
+void scaleShiftRows(float *tile, std::uint32_t rows, std::uint32_t cols,
+                    const float *gamma, const float *beta);
 void scaleShiftRows(std::vector<float> &tile, std::uint32_t rows,
                     std::uint32_t cols, const std::vector<float> &gamma,
                     const std::vector<float> &beta);
 
-/** tile += other (element-wise residual add). */
+/** tile[i] += other[i] for i in [0, n) (element-wise residual add). */
+void addInplace(float *tile, const float *other, std::size_t n);
 void addInplace(std::vector<float> &tile, const std::vector<float> &other);
-
-/** tile += other (raw payload view, e.g. a pooled chunk tile). */
 void addInplace(std::vector<float> &tile, const float *other,
                 std::size_t n);
 

@@ -41,6 +41,24 @@ DecoderUnit::start(const RsnProgram &prog)
     fetch_task_ = fetchLoop();
 }
 
+void
+DecoderUnit::reset()
+{
+    rsn_assert(prog_ == nullptr || done(),
+               "decoder reset while still issuing");
+    prog_ = nullptr;
+    fetch_task_ = {};
+    fetch_done_ = false;
+    for (int t = 0; t < kNumFuTypes; ++t) {
+        type_tasks_[t] = {};
+        pkt_ch_[t].reset();
+        type_done_[t] = false;
+    }
+    packets_fetched_ = 0;
+    uops_issued_ = 0;
+    bytes_fetched_ = 0;
+}
+
 sim::Task
 DecoderUnit::fetchLoop()
 {

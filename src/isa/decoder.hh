@@ -55,6 +55,14 @@ class DecoderUnit
     /** All packets fetched, expanded, and delivered. */
     bool done() const;
 
+    /**
+     * Return to the pre-start state so a fresh program can be fetched
+     * (RsnMachine::reset). Only legal before start() or once done():
+     * the fetch/type coroutines must have finished before their frames
+     * are destroyed.
+     */
+    void reset();
+
     /** @{ Stats for the overhead analysis (Sec. 5.1). */
     std::uint64_t packetsFetched() const { return packets_fetched_; }
     std::uint64_t uopsIssued() const { return uops_issued_; }

@@ -51,6 +51,8 @@ struct DramConfig {
     double write_gbps = 23.5;       ///< Achieved write bandwidth.
     Tick per_burst_overhead = 16;   ///< Row-activation / turnaround cost.
     double pl_hz = 260e6;
+
+    bool operator==(const DramConfig &) const = default;
 };
 
 /**
@@ -73,6 +75,21 @@ class DramChannel
 
     /** Scale both bandwidths by @p factor (Table 11 bandwidth sweep). */
     void scaleBandwidth(double factor);
+
+    /**
+     * Clear stats and queueing state for a fresh run on a rewound engine
+     * (RsnMachine::reset). Bandwidth scaling is configuration, not run
+     * state, and survives.
+     */
+    void
+    reset()
+    {
+        busy_until_ = 0;
+        busy_ticks_ = 0;
+        bytes_read_ = 0;
+        bytes_written_ = 0;
+        requests_ = 0;
+    }
 
     /** Stats. */
     Bytes bytesRead() const { return bytes_read_; }

@@ -37,6 +37,18 @@ class HostMemory
     /** Total allocated bytes. */
     Bytes allocatedBytes() const { return next_ - kBase; }
 
+    /**
+     * Drop every region and rewind the bump allocator (RsnMachine::reset):
+     * the next compiled model starts from a pristine address space.
+     * Addresses handed out before the reset become unmapped.
+     */
+    void
+    reset()
+    {
+        regions_.clear();
+        next_ = kBase;
+    }
+
     /** Whether @p addr falls inside an allocated region. */
     bool contains(Addr addr) const;
 

@@ -4,11 +4,14 @@
  *
  * A chunk is a 2-D tile block (rows x cols FP32 elements). Timing-only runs
  * leave @c data empty; functional runs attach a pooled FP32 payload in
- * row-major order (sim/tile_pool.hh). Receivers must treat payloads as
- * immutable and acquire fresh tiles for transformed data
- * (copy-on-transform), since payloads are shared by refcount when a mesh
- * FU broadcasts one chunk to several destinations — TileRef enforces this
- * by gating writable access on unique ownership.
+ * row-major order (sim/tile_pool.hh). The payload may be a sub-tile
+ * *view* — Mem FUs publish row-slices of a staged tile as offset/length
+ * windows aliased by refcount, never copies. Receivers must treat
+ * payloads as immutable and take ownership (TileRef::ensureUnique,
+ * copy-on-write) before transforming, since payloads are shared by
+ * refcount when a mesh FU broadcasts one chunk to several destinations —
+ * TileRef enforces this by gating plain writable access on unique
+ * ownership. Ownership rules are spelled out in docs/datapath.md.
  */
 
 #ifndef RSN_SIM_CHUNK_HH

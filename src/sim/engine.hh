@@ -192,6 +192,25 @@ class Engine
      */
     bool run(Tick max_ticks = kTickMax);
 
+    /**
+     * Rewind simulated time to tick 0 for a fresh run. Only legal when
+     * the queue is drained (a completed Engine::run): pending events
+     * hold `when` stamps that a rewound clock would misorder. The slot
+     * arena and free list survive, so a reset engine re-enters steady
+     * state with zero warmup allocations — this is what lets one
+     * machine serve many benchmark data points (bench/bench_util.hh).
+     */
+    void
+    reset()
+    {
+        rsn_assert(pending_ == 0 && active_head_ == kNil,
+                   "engine reset with %llu pending events",
+                   static_cast<unsigned long long>(pending_));
+        now_ = 0;
+        base_ = 0;
+        events_processed_ = 0;
+    }
+
     /** Number of events processed so far (for stats / microbenchmarks). */
     std::uint64_t eventsProcessed() const { return events_processed_; }
 

@@ -168,6 +168,24 @@ class Stream
     /** Awaitable receive of the next chunk; blocks while empty. */
     auto recv() { return RecvAwaiter{*this, {}, {}, false}; }
 
+    /**
+     * Clear stats and link occupancy for a fresh run on a rewound
+     * engine (RsnMachine::reset). Only legal when the stream is fully
+     * drained — no queued chunks, no transfer in flight, no blocked
+     * party — which a completed program run guarantees.
+     */
+    void
+    reset()
+    {
+        rsn_assert(q_.empty() && pending_.empty() && xfer_.empty() &&
+                       recv_waiters_.empty() && flush_waiters_.empty(),
+                   "reset of non-drained stream %s", name_.c_str());
+        link_free_ = 0;
+        busy_ticks_ = 0;
+        bytes_transferred_ = 0;
+        chunks_transferred_ = 0;
+    }
+
   private:
     /** One send operation: payload, waiting sender, completion tick. */
     struct Xfer {

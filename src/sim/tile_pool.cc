@@ -1,8 +1,28 @@
 #include "sim/tile_pool.hh"
 
+#include <algorithm>
 #include <new>
 
 namespace rsn::sim {
+
+float *
+TileRef::ensureUnique(std::uint64_t elems)
+{
+    rsn_assert(h_ && elems > 0 && elems <= len_,
+               "ensureUnique of %llu elems on a %llu-elem tile view",
+               static_cast<unsigned long long>(elems),
+               static_cast<unsigned long long>(h_ ? len_ : 0));
+    if (h_->refs == 1)
+        return h_->payload() + off_;
+    TileRef copy = h_->pool->acquire(elems);
+    std::copy_n(h_->payload() + off_, elems, copy.mutableData());
+    // Narrow the fresh ref's window to exactly the copied elements: the
+    // bucket's spare capacity is uninitialized storage the pre-COW
+    // window could not reach either, so it must not become reachable.
+    copy.len_ = static_cast<std::uint32_t>(elems);
+    *this = std::move(copy);
+    return h_->payload();
+}
 
 TilePool &
 TilePool::instance()

@@ -15,6 +15,19 @@
  * the buffer returns to its bucket's free list — steady-state traffic
  * allocates nothing (pinned by tests/sim/test_stream_alloc.cc).
  *
+ * ## Views and copy-on-write
+ *
+ * A TileRef can also be a *view*: an offset/length window into another
+ * ref's buffer, created with `slice()`. Views share the buffer's refcount
+ * — slicing a row range out of a staged tile is a refcount bump, not an
+ * `acquire`+copy — and are how the Mem FUs publish row-slices of a
+ * buffered tile without touching the payload (see docs/datapath.md).
+ * Writable access follows one rule everywhere: `mutableData()` demands
+ * sole ownership (shared tiles are immutable, pinning broadcast
+ * semantics), and `ensureUnique()` is the copy-on-write escape hatch —
+ * in place when the caller is already the only owner, a copy into a
+ * freshly acquired tile when anyone else can still read the buffer.
+ *
  * The simulator is single-threaded, so refcounts are plain integers and
  * the pool needs no locking. `TilePool::instance()` is the process-wide
  * pool every producer uses; independent pools can be created in tests.
@@ -58,8 +71,9 @@ static_assert(sizeof(TileHdr) % alignof(float) == 0,
 } // namespace detail
 
 /**
- * Shared reference to a pooled tile. Copy = refcount bump; destruction of
- * the last reference retires the buffer to its pool's free list.
+ * Shared reference to a pooled tile, or an offset/length view into one.
+ * Copy = refcount bump; destruction of the last reference (whole-tile
+ * refs and views alike) retires the buffer to its pool's free list.
  */
 class TileRef
 {
@@ -67,12 +81,15 @@ class TileRef
     TileRef() = default;
     ~TileRef() { release(); }
 
-    TileRef(const TileRef &o) : h_(o.h_)
+    TileRef(const TileRef &o) : h_(o.h_), off_(o.off_), len_(o.len_)
     {
         if (h_)
             ++h_->refs;
     }
-    TileRef(TileRef &&o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+    TileRef(TileRef &&o) noexcept
+        : h_(std::exchange(o.h_, nullptr)), off_(o.off_), len_(o.len_)
+    {
+    }
 
     TileRef &
     operator=(const TileRef &o)
@@ -80,6 +97,8 @@ class TileRef
         if (this != &o) {
             release();
             h_ = o.h_;
+            off_ = o.off_;
+            len_ = o.len_;
             if (h_)
                 ++h_->refs;
         }
@@ -91,6 +110,8 @@ class TileRef
         if (this != &o) {
             release();
             h_ = std::exchange(o.h_, nullptr);
+            off_ = o.off_;
+            len_ = o.len_;
         }
         return *this;
     }
@@ -102,24 +123,62 @@ class TileRef
     data() const
     {
         rsn_assert(h_, "deref of empty TileRef");
-        return h_->payload();
+        return h_->payload() + off_;
     }
 
     /**
      * Writable payload access, legal only while this is the sole
      * reference — mutating a tile another consumer can still read would
-     * break broadcast-payload immutability.
+     * break broadcast-payload immutability. A sole-owner *view* may
+     * write through this too (nobody else can observe the buffer); use
+     * ensureUnique() when shared ownership is possible.
      */
     float *
     mutableData()
     {
         rsn_assert(h_ && h_->refs == 1,
                    "mutable access to a shared or empty tile");
-        return h_->payload();
+        return h_->payload() + off_;
     }
 
-    /** Element capacity of the underlying bucket (>= requested size). */
-    std::uint64_t capacity() const { return h_ ? h_->cap : 0; }
+    /**
+     * Copy-on-write access to this ref's first @p elems elements: in
+     * place when this is already the sole reference, otherwise the
+     * window is copied into a freshly acquired tile from the same pool
+     * (the shared original stays untouched) and this ref re-seats onto
+     * the copy, with its window narrowed to exactly @p elems — the new
+     * bucket's spare capacity is uninitialized and stays unreachable.
+     * Always returns writable storage of >= @p elems floats; elements
+     * past @p elems of the old window remain reachable only on the
+     * in-place path.
+     */
+    float *ensureUnique(std::uint64_t elems);
+
+    /**
+     * An offset/length view of this ref's window: shares (and bumps)
+     * the buffer refcount, no copy. The view's data()/capacity() cover
+     * exactly [off, off+len) of this ref.
+     */
+    TileRef
+    slice(std::uint64_t off, std::uint64_t len) const
+    {
+        rsn_assert(h_ && len > 0 && off + len <= len_,
+                   "slice [%llu,+%llu) outside tile view of %llu elems",
+                   static_cast<unsigned long long>(off),
+                   static_cast<unsigned long long>(len),
+                   static_cast<unsigned long long>(len_));
+        ++h_->refs;
+        return TileRef{h_, off_ + static_cast<std::uint32_t>(off),
+                       static_cast<std::uint32_t>(len)};
+    }
+
+    /** Elements reachable through this ref: the bucket capacity for a
+     *  whole-tile ref (>= requested size), the window length for a view. */
+    std::uint64_t capacity() const { return h_ ? len_ : 0; }
+
+    /** True when this ref is an offset/length window rather than the
+     *  whole underlying buffer. */
+    bool isView() const { return h_ && (off_ != 0 || len_ != h_->cap); }
 
     /** True when exactly one reference exists. */
     bool unique() const { return h_ && h_->refs == 1; }
@@ -129,9 +188,21 @@ class TileRef
 
   private:
     friend class TilePool;
-    explicit TileRef(detail::TileHdr *h) : h_(h) {}
+    explicit TileRef(detail::TileHdr *h)
+        : h_(h), len_(h ? static_cast<std::uint32_t>(h->cap) : 0)
+    {
+    }
+    TileRef(detail::TileHdr *h, std::uint32_t off, std::uint32_t len)
+        : h_(h), off_(off), len_(len)
+    {
+    }
 
+    // 32-bit window fields keep a TileRef at 16 bytes (Chunks move
+    // through stream rings by value); the largest bucket is 2^31
+    // elements, so element offsets/lengths always fit.
     detail::TileHdr *h_ = nullptr;
+    std::uint32_t off_ = 0;  ///< Window start (elements into payload).
+    std::uint32_t len_ = 0;  ///< Window length in elements.
 };
 
 /** Size-bucketed free-list allocator of FP32 tiles; see file comment. */

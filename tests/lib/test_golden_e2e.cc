@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Golden-trace end-to-end regression tier (ISSUE 3).
+ *
+ * Datapath refactors — like the zero-copy TileRef staging this PR
+ * introduced — must not change what the simulator computes or when. This
+ * tier pins both:
+ *
+ *  - the *trace*: the BERT-Large 1st-encoder configuration (S=512, B=6,
+ *    fused QKV, optimized schedule — the paper's headline workload) must
+ *    complete in exactly kBertLargeGoldenTicks. Any scheduling,
+ *    datapath, or timing-model change shows up here first and must be
+ *    accounted for deliberately (update the constant in the same PR
+ *    that justifies it);
+ *  - the *numerics*: a functional reduced-encoder run must match the
+ *    independent naive reference (src/ref/ref_math) tensor by tensor,
+ *    and the output checksum must agree with the reference checksum —
+ *    so a refactor cannot silently compute something else;
+ *  - the *separation*: functional payload carriage must not perturb
+ *    timing — the same program ticks identically with and without data.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <variant>
+
+#include "core/machine.hh"
+#include "lib/codegen.hh"
+#include "lib/model.hh"
+#include "lib/runner.hh"
+#include "ref/ref_math.hh"
+
+namespace {
+
+using namespace rsn;
+
+/** BERT-Large 1st encoder, S=512, B=6, fused QKV, optimized schedule. */
+constexpr Tick kBertLargeGoldenTicks = 5947426;
+
+/** Reduced encoder (B=2, S=32, H=64, 4 heads, FF=128), same golden
+ *  discipline at functional-run scale. */
+constexpr Tick kTinyEncoderGoldenTicks = 11084;
+
+/** Deterministic double-precision checksum of a matrix. */
+double
+checksum(const ref::Matrix &m)
+{
+    double sum = 0;
+    for (float v : m.data)
+        sum += double(v);
+    return sum;
+}
+
+lib::Model
+tinyModel()
+{
+    return lib::tinyEncoder(/*batch=*/2, /*seq=*/32, /*hidden=*/64,
+                            /*heads=*/4, /*ff=*/128, /*fuse_qkv=*/true);
+}
+
+/** Output tensor name of the model's last segment. */
+std::string
+finalOutput(const lib::Model &model)
+{
+    return std::visit([](const auto &seg) { return seg.out_name; },
+                      model.segments.back());
+}
+
+TEST(GoldenTrace, BertLargeEncoderTickCountIsPinned)
+{
+    core::RsnMachine mach(core::MachineConfig::vck190());
+    auto model = lib::bertLargeEncoder(/*batch=*/6, /*seq=*/512,
+                                       /*fuse_qkv=*/true);
+    auto compiled = lib::compileModel(mach, model,
+                                      lib::ScheduleOptions::optimized());
+    auto r = mach.run(compiled.program);
+    ASSERT_TRUE(r.completed) << r.diagnosis;
+    EXPECT_EQ(r.ticks, kBertLargeGoldenTicks)
+        << "BERT-Large end-to-end latency changed. If this PR "
+           "deliberately changes scheduling or the timing model, update "
+           "kBertLargeGoldenTicks (and ROADMAP.md) with the why; "
+           "otherwise this is a regression.";
+}
+
+TEST(GoldenTrace, FunctionalOutputsMatchReferenceAndChecksum)
+{
+    core::RsnMachine mach(core::MachineConfig::vck190(/*functional=*/true));
+    auto model = tinyModel();
+    auto compiled = lib::compileModel(mach, model,
+                                      lib::ScheduleOptions::optimized());
+    lib::initTensors(mach, compiled, /*seed=*/123);
+    auto expected = lib::referenceForward(mach, model, compiled);
+    auto r = mach.run(compiled.program);
+    ASSERT_TRUE(r.completed) << r.diagnosis;
+    EXPECT_EQ(r.ticks, kTinyEncoderGoldenTicks);
+
+    // Every intermediate the datapath produced must match the naive
+    // reference implementation.
+    std::size_t compared = 0;
+    for (const auto &[name, expect] : expected) {
+        if (name == "input" || !compiled.hasTensor(name))
+            continue;
+        auto got = lib::readTensor(mach, compiled, name);
+        std::string why;
+        EXPECT_TRUE(ref::allclose(got, expect, 2e-3f, 2e-3f, &why))
+            << name << ": " << why;
+        ++compared;
+    }
+    EXPECT_GE(compared, 5u) << "golden comparison went vacuous";
+
+    // And the headline numeric: the output checksum agrees with the
+    // reference checksum (guards against a comparison bug masking a
+    // wholesale numeric change).
+    const std::string out_name = finalOutput(model);
+    ASSERT_TRUE(compiled.hasTensor(out_name));
+    double got_sum = checksum(lib::readTensor(mach, compiled, out_name));
+    double ref_sum = checksum(expected.at(out_name));
+    EXPECT_NEAR(got_sum, ref_sum,
+                1e-3 * std::max(1.0, std::abs(ref_sum)));
+    EXPECT_TRUE(std::isfinite(got_sum));
+}
+
+TEST(GoldenTrace, FunctionalPayloadsDoNotPerturbTiming)
+{
+    Tick ticks[2] = {0, 0};
+    for (bool functional : {false, true}) {
+        core::RsnMachine mach(core::MachineConfig::vck190(functional));
+        auto model = tinyModel();
+        auto compiled = lib::compileModel(
+            mach, model, lib::ScheduleOptions::optimized());
+        if (functional)
+            lib::initTensors(mach, compiled, 123);
+        auto r = mach.run(compiled.program);
+        ASSERT_TRUE(r.completed) << r.diagnosis;
+        ticks[functional] = r.ticks;
+    }
+    EXPECT_EQ(ticks[0], ticks[1])
+        << "carrying FP32 payloads changed simulated time";
+}
+
+TEST(GoldenTrace, ResetMachineReproducesTheGoldenTrace)
+{
+    // The bench context reuses one machine across data points
+    // (bench/bench_util.hh); a reset machine must retrace exactly.
+    core::RsnMachine mach(core::MachineConfig::vck190());
+    auto model = lib::bertLargeEncoder(6, 512, true);
+    Tick first = 0;
+    for (int i = 0; i < 2; ++i) {
+        if (i)
+            mach.reset();
+        auto compiled = lib::compileModel(
+            mach, model, lib::ScheduleOptions::optimized());
+        auto r = mach.run(compiled.program);
+        ASSERT_TRUE(r.completed) << r.diagnosis;
+        if (i)
+            EXPECT_EQ(r.ticks, first) << "reset machine diverged";
+        else
+            first = r.ticks;
+    }
+    EXPECT_EQ(first, kBertLargeGoldenTicks);
+}
+
+} // namespace

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Property tests for TileRef offset/length views and copy-on-write —
+ * the zero-copy staging primitives the Mem FUs publish row-slices with
+ * (ISSUE 3). Randomized row-offset/length slicing is compared
+ * element-for-element against the copy-based slicing it replaced, and
+ * the ownership edge cases are pinned: a slice of a broadcast-shared
+ * tile must COW, a uniquely-owned tile must mutate in place.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/chunk.hh"
+#include "sim/tile_pool.hh"
+
+namespace {
+
+using rsn::sim::Chunk;
+using rsn::sim::makeTileChunk;
+using rsn::sim::TilePool;
+using rsn::sim::TileRef;
+
+/** Acquire a rows x cols tile filled from @p rng. */
+TileRef
+randomTile(TilePool &pool, std::uint32_t rows, std::uint32_t cols,
+           std::mt19937 &rng)
+{
+    TileRef t = pool.acquire(std::uint64_t(rows) * cols);
+    std::uniform_real_distribution<float> dist(-4.f, 4.f);
+    float *d = t.mutableData();
+    for (std::uint64_t i = 0; i < std::uint64_t(rows) * cols; ++i)
+        d[i] = dist(rng);
+    return t;
+}
+
+/** The pre-view slicing: acquire a fresh tile and copy the row range. */
+TileRef
+copySlice(TilePool &pool, const TileRef &src, std::uint32_t row_off,
+          std::uint32_t rows, std::uint32_t cols)
+{
+    std::uint64_t n = std::uint64_t(rows) * cols;
+    TileRef t = pool.acquire(n);
+    std::copy_n(src.data() + std::uint64_t(row_off) * cols, n,
+                t.mutableData());
+    return t;
+}
+
+TEST(TileView, RandomizedSlicesMatchCopyBasedSlicing)
+{
+    TilePool pool;
+    std::mt19937 rng(20260728);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::uint32_t rows = 1 + rng() % 64;
+        std::uint32_t cols = 1 + rng() % 48;
+        TileRef tile = randomTile(pool, rows, cols, rng);
+        std::uint32_t row_off = rng() % rows;
+        std::uint32_t ext = 1 + rng() % (rows - row_off);
+
+        TileRef view = tile.slice(std::uint64_t(row_off) * cols,
+                                  std::uint64_t(ext) * cols);
+        TileRef copy = copySlice(pool, tile, row_off, ext, cols);
+
+        ASSERT_EQ(view.capacity(), std::uint64_t(ext) * cols);
+        for (std::uint64_t i = 0; i < std::uint64_t(ext) * cols; ++i)
+            ASSERT_EQ(view.data()[i], copy.data()[i])
+                << "trial " << trial << " elem " << i;
+        // The view aliases the parent storage; the copy does not.
+        EXPECT_EQ(view.data(), tile.data() +
+                                   std::uint64_t(row_off) * cols);
+        EXPECT_NE(copy.data(), view.data());
+    }
+    EXPECT_EQ(pool.liveTiles(), 0u);
+}
+
+TEST(TileView, ChunkOverViewIndexesLikeChunkOverCopy)
+{
+    TilePool pool;
+    std::mt19937 rng(7);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::uint32_t rows = 2 + rng() % 32;
+        std::uint32_t cols = 1 + rng() % 32;
+        TileRef tile = randomTile(pool, rows, cols, rng);
+        std::uint32_t row_off = rng() % (rows - 1);
+        std::uint32_t ext = 1 + rng() % (rows - row_off);
+
+        Chunk via_view = makeTileChunk(
+            ext, cols,
+            tile.slice(std::uint64_t(row_off) * cols,
+                       std::uint64_t(ext) * cols));
+        Chunk via_copy = makeTileChunk(
+            ext, cols, copySlice(pool, tile, row_off, ext, cols));
+        for (std::uint32_t r = 0; r < ext; ++r)
+            for (std::uint32_t c = 0; c < cols; ++c)
+                ASSERT_EQ(via_view.at(r, c), via_copy.at(r, c));
+    }
+}
+
+TEST(TileView, ViewsShareTheBufferRefcount)
+{
+    TilePool pool;
+    TileRef tile = pool.acquire(64 * 8);
+    std::fill_n(tile.mutableData(), 64 * 8, 1.f);
+    EXPECT_TRUE(tile.unique());
+
+    TileRef v1 = tile.slice(0, 64);
+    TileRef v2 = tile.slice(64, 128);
+    TileRef nested = v2.slice(32, 64);  // window into a window
+    EXPECT_FALSE(tile.unique());
+    EXPECT_TRUE(v1.isView());
+    EXPECT_FALSE(tile.isView());
+    // One buffer, four refs: no extra pool traffic for slicing.
+    EXPECT_EQ(pool.liveTiles(), 1u);
+    EXPECT_EQ(pool.buffersAllocated(), 1u);
+    EXPECT_EQ(nested.data(), tile.data() + 64 + 32);
+
+    // The buffer stays alive while any view does, even after the
+    // whole-tile ref dies...
+    const float *raw = tile.data();
+    tile.release();
+    EXPECT_EQ(pool.liveTiles(), 1u);
+    EXPECT_EQ(v1.data(), raw);
+    v1.release();
+    v2.release();
+    EXPECT_EQ(pool.liveTiles(), 1u);  // nested still holds it
+    nested.release();
+    // ...and retires to the free list only when the last window dies.
+    EXPECT_EQ(pool.liveTiles(), 0u);
+    EXPECT_EQ(pool.acquire(64 * 8).data(), raw);
+    EXPECT_EQ(pool.buffersAllocated(), 1u);
+}
+
+TEST(TileView, UniqueTileMutatesInPlace)
+{
+    TilePool pool;
+    TileRef tile = pool.acquire(256);
+    std::fill_n(tile.mutableData(), 256, 2.f);
+    const float *before = tile.data();
+    float *d = tile.ensureUnique(256);
+    EXPECT_EQ(d, before);  // sole owner: no copy
+    EXPECT_EQ(pool.buffersAllocated(), 1u);
+    d[0] = 9.f;
+    EXPECT_EQ(tile.data()[0], 9.f);
+}
+
+TEST(TileView, SharedTileCopiesOnWrite)
+{
+    TilePool pool;
+    TileRef tile = pool.acquire(128);
+    float *d = tile.mutableData();
+    for (int i = 0; i < 128; ++i)
+        d[i] = float(i);
+
+    // Broadcast: a second consumer holds the same payload.
+    TileRef other = tile;
+    float *w = tile.ensureUnique(128);
+    EXPECT_NE(w, other.data());      // re-seated onto a fresh buffer
+    EXPECT_TRUE(tile.unique());
+    EXPECT_TRUE(other.unique());     // the original is theirs alone now
+    for (int i = 0; i < 128; ++i)
+        ASSERT_EQ(w[i], float(i));   // window was copied
+    w[5] = -1.f;
+    EXPECT_EQ(other.data()[5], 5.f); // the shared original is untouched
+}
+
+TEST(TileView, SliceOfSharedTileCopiesOnWriteAndPreservesParent)
+{
+    TilePool pool;
+    std::mt19937 rng(99);
+    TileRef tile = randomTile(pool, 16, 8, rng);
+    std::vector<float> orig(tile.data(), tile.data() + 16 * 8);
+
+    // A mid-tile row window, parent still alive (broadcast-shared).
+    TileRef view = tile.slice(4 * 8, 6 * 8);
+    float *w = view.ensureUnique(6 * 8);
+    EXPECT_NE(w, orig.data());
+    // The re-seated ref covers exactly the copied elements — the fresh
+    // bucket's uninitialized spare capacity stays unreachable.
+    EXPECT_EQ(view.capacity(), std::uint64_t(6 * 8));
+    EXPECT_THROW((void)view.slice(0, 6 * 8 + 1), std::logic_error);
+    for (int i = 0; i < 6 * 8; ++i)
+        ASSERT_EQ(w[i], orig[4 * 8 + i]);
+    std::fill_n(w, 6 * 8, 0.f);
+    for (int i = 0; i < 16 * 8; ++i)
+        ASSERT_EQ(tile.data()[i], orig[i]) << "parent mutated at " << i;
+}
+
+TEST(TileView, SoleOwnerViewMutatesInPlace)
+{
+    TilePool pool;
+    TileRef tile = pool.acquire(64);
+    std::fill_n(tile.mutableData(), 64, 3.f);
+    TileRef view = tile.slice(16, 32);
+    tile.release();
+    // The window is the only reference left: writing in place is safe
+    // and ensureUnique must not copy.
+    EXPECT_TRUE(view.unique());
+    const float *before = view.data();
+    EXPECT_EQ(view.ensureUnique(32), before);
+    EXPECT_EQ(pool.buffersAllocated(), 1u);
+}
+
+TEST(TileView, MutableAccessToSharedViewPanics)
+{
+    TilePool pool;
+    TileRef tile = pool.acquire(64);
+    std::fill_n(tile.mutableData(), 64, 0.f);
+    TileRef view = tile.slice(0, 32);
+    EXPECT_THROW((void)view.mutableData(), std::logic_error);
+    EXPECT_THROW((void)tile.mutableData(), std::logic_error);
+}
+
+TEST(TileView, SliceBoundsAreChecked)
+{
+    TilePool pool;
+    TileRef tile = pool.acquire(64);
+    std::fill_n(tile.mutableData(), 64, 0.f);
+    TileRef view = tile.slice(8, 16);
+    // Views bound-check against their own window, not the buffer.
+    EXPECT_THROW((void)view.slice(8, 16), std::logic_error);
+    EXPECT_THROW((void)tile.slice(0, 65), std::logic_error);
+    // A chunk over a too-small window is rejected by capacity checking.
+    TileRef small = tile.slice(0, 16);
+    EXPECT_THROW((void)makeTileChunk(8, 8, std::move(small)),
+                 std::logic_error);
+}
+
+} // namespace

@@ -37,7 +37,8 @@ out = {
 for b in raw["benchmarks"]:
     entry = {"items_per_second": b.get("items_per_second"),
              "cpu_time_ns": b.get("cpu_time")}
-    for counter in ("allocs_per_event", "allocs_per_chunk"):
+    for counter in ("allocs_per_event", "allocs_per_chunk",
+                    "allocs_per_tile"):
         if counter in b:
             entry[counter] = b[counter]
     out["events_per_second"][b["name"]] = entry

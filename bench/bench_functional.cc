@@ -1,0 +1,86 @@
+/**
+ * @file
+ * End-to-end functional-mode benchmarks (google-benchmark).
+ *
+ * Separate binary from bench_micro_sim on purpose: linking the whole
+ * machine/model/codegen stack into the micro-benchmark binary measurably
+ * perturbs the tight sim-kernel loops (code layout / inlining), so the
+ * kernel microbenches stay lean and the full-datapath numbers live here.
+ * tools/bench_json.sh runs both binaries and merges their results into
+ * one BENCH_sim.json.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/machine.hh"
+#include "lib/codegen.hh"
+#include "lib/model.hh"
+#include "lib/runner.hh"
+
+namespace {
+
+/**
+ * Functional tiny-encoder end-to-end (B=2, S=64, H=128, FF=256): the
+ * ROADMAP headline number for the functional data plane — every lever
+ * (GEMM microkernel, gather-view assembly, zero-copy staging, stream
+ * fast path, decoder uOP cache) lands here. One item == one full
+ * simulated run carrying FP32 payloads; compile/init are excluded from
+ * the timed region. The machine is reset between runs, mirroring the
+ * BenchContext sweep pattern.
+ */
+void
+BM_FunctionalTinyEncoder(benchmark::State &state)
+{
+    auto model = rsn::lib::tinyEncoder(/*batch=*/2, /*seq=*/64,
+                                       /*hidden=*/128, /*heads=*/4,
+                                       /*ff=*/256, /*fuse_qkv=*/true);
+    rsn::core::RsnMachine mach(
+        rsn::core::MachineConfig::vck190(/*functional=*/true));
+    bool first = true;
+    for (auto _ : state) {
+        state.PauseTiming();
+        if (!first)
+            mach.reset();
+        first = false;
+        auto compiled = rsn::lib::compileModel(
+            mach, model, rsn::lib::ScheduleOptions::optimized());
+        rsn::lib::initTensors(mach, compiled, 2025);
+        state.ResumeTiming();
+        auto r = mach.run(compiled.program);
+        if (!r.completed)
+            state.SkipWithError("functional run did not complete");
+        benchmark::DoNotOptimize(r.ticks);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FunctionalTinyEncoder)->Unit(benchmark::kMillisecond);
+
+/** Same workload timing-only: the sim-overhead floor under the number
+ *  above (the gap between the two is pure functional-payload cost). */
+void
+BM_TimingOnlyTinyEncoder(benchmark::State &state)
+{
+    auto model = rsn::lib::tinyEncoder(2, 64, 128, 4, 256, true);
+    rsn::core::RsnMachine mach(
+        rsn::core::MachineConfig::vck190(/*functional=*/false));
+    bool first = true;
+    for (auto _ : state) {
+        state.PauseTiming();
+        if (!first)
+            mach.reset();
+        first = false;
+        auto compiled = rsn::lib::compileModel(
+            mach, model, rsn::lib::ScheduleOptions::optimized());
+        state.ResumeTiming();
+        auto r = mach.run(compiled.program);
+        if (!r.completed)
+            state.SkipWithError("timing run did not complete");
+        benchmark::DoNotOptimize(r.ticks);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimingOnlyTinyEncoder)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -64,6 +64,52 @@ operator delete[](void *p, std::size_t) noexcept
     std::free(p);
 }
 
+// Aligned-allocation overloads: TilePool allocates its buffers with
+// ::operator new(size, std::align_val_t{64}) (cache-line-aligned
+// tiles), which does NOT route through the plain overload above — it
+// must be intercepted separately or pooled-buffer traffic becomes
+// invisible to the counter and the alloc-free pins go blind.
+void *
+operator new(std::size_t n, std::align_val_t al)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    void *p = nullptr;
+    if (posix_memalign(&p, std::size_t(al), n ? n : 1) != 0)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t n, std::align_val_t al)
+{
+    return operator new(n, al);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    operator delete(p, std::align_val_t{1});
+}
+
+void
+operator delete[](void *p, std::align_val_t al) noexcept
+{
+    operator delete(p, al);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t al) noexcept
+{
+    operator delete(p, al);
+}
+
+
 namespace {
 
 using rsn::Tick;
@@ -236,7 +282,7 @@ Task
 streamReceiver(Stream &s, int n, long &bytes)
 {
     for (int i = 0; i < n; ++i)
-        bytes += (co_await s.recv()).bytes;
+        bytes += (co_await s.recv()).bytes();
 }
 
 /** Timing-only chunk stream: the coroutine-free link-scheduler path.

@@ -56,7 +56,7 @@ DdrFu::runKernel(const isa::Uop &uop)
         } else {
             sim::Chunk c = co_await in(u.src).recv();
             countIn(c);
-            mem::DramRequest req{mem::Dir::Write, c.bytes,
+            mem::DramRequest req{mem::Dir::Write, c.bytes(),
                                  blockBursts(c.rows, c.cols, u.pitch,
                                              layout_)};
             co_await chan_.access(req);

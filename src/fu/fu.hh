@@ -102,8 +102,8 @@ class Fu
     virtual void resetKernelState() {}
 
     /** @{ Stats helpers used by kernels. */
-    void countIn(const sim::Chunk &c) { stats_.bytes_in += c.bytes; }
-    void countOut(const sim::Chunk &c) { stats_.bytes_out += c.bytes; }
+    void countIn(const sim::Chunk &c) { stats_.bytes_in += c.bytes(); }
+    void countOut(const sim::Chunk &c) { stats_.bytes_out += c.bytes(); }
     void countFlops(std::uint64_t f) { stats_.flops += f; }
     /** @} */
 

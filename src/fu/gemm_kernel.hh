@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Blocked, vectorized FP32 GEMM microkernel for the MME's functional
+ * path (acc += lhs @ rhs on row-major tiles).
+ *
+ * The MME used to compute tile products with a scalar i/k/j triple loop;
+ * once the PR 3 datapath went zero-copy, that loop dominated functional
+ * end-to-end time. This module replaces it with the classic three-piece
+ * structure of a CPU GEMM:
+ *
+ *  - a **packing layer** that copies operands into cache-resident,
+ *    alignment-guaranteed scratch panels (pooled tiles are 32-byte
+ *    aligned): the LHS always, in MR-row-interleaved layout zero-padded
+ *    to the block height, so the inner kernel reads one contiguous line
+ *    per k step with no row-edge branches; the RHS only for the ragged
+ *    n%NR column tail, zero-padded to NR — full blocks read the
+ *    row-major operand directly, which measured faster than paying the
+ *    pack memcpy on the L2-resident tile shapes the datapath moves.
+ *    Panels live in pooled tiles owned by a GemmScratch that each MME
+ *    FU reuses across reps/k_steps — steady state packs into the same
+ *    two buffers forever, allocating nothing;
+ *  - a **register-blocked inner kernel** computing an MR x NR output
+ *    block with FMA accumulation. Three compiled-in variants behind one
+ *    entry point: an explicit AVX2+FMA kernel (8x16, K unrolled 2-deep)
+ *    and a NEON kernel (8x8) when the build enables RSN_SIMD and the
+ *    target supports them, and a portable restrict-qualified form
+ *    (2x16) the compiler auto-vectorizes otherwise;
+ *  - a **scalar reference kernel** (gemmRefAccumulate) kept as the
+ *    semantic baseline: identical loop order to the pre-blocked MME, no
+ *    reassociation. Tests pin the blocked/SIMD kernels against it over
+ *    randomized shapes.
+ *
+ * ## FP tolerance policy
+ *
+ * The blocked kernels accumulate each output element in a register over
+ * k and add the partial sum into acc once; the scalar reference adds
+ * every product into acc directly. Both are exact-order FP32 chains but
+ * *different* chains, so results may differ by O(k) ULPs (FMA also
+ * contracts multiply-add rounding). Consumers must compare with a
+ * tolerance, not bit-exactly: tests use |a-b| <= 1e-4 + 1e-4 * |b|
+ * per element (ref_math-style allclose), generous for every shape the
+ * datapath produces (k <= a few thousand). Simulated *timing* is
+ * payload-independent, so kernel choice never changes tick counts.
+ */
+
+#ifndef RSN_FU_GEMM_KERNEL_HH
+#define RSN_FU_GEMM_KERNEL_HH
+
+#include <cstdint>
+
+#include "sim/tile_pool.hh"
+
+namespace rsn::fu {
+
+/** Compiled-in microkernel variant: "avx2-fma", "neon", or "portable". */
+const char *gemmKernelName();
+
+/**
+ * Scalar reference kernel: acc(m x n) += lhs(m x k) @ rhs(k x n), all
+ * row-major and dense. This is the pre-blocked MME loop (including its
+ * skip of zero LHS elements, which never changes the result) and the
+ * baseline the property tests compare the blocked kernels against.
+ */
+void gemmRefAccumulate(float *acc, const float *lhs, const float *rhs,
+                       std::uint32_t m, std::uint32_t k, std::uint32_t n);
+
+/**
+ * Packing scratch for gemmAccumulate: two pooled tiles holding the LHS
+ * and RHS panels. Owned per MME FU and reused across every chunk product
+ * the FU ever computes — the panels only ever grow (to the largest
+ * shape seen), so steady-state packing allocates nothing. release()
+ * drops the tiles back to the pool (FU reset).
+ */
+class GemmScratch
+{
+  public:
+    /** Writable LHS panel of at least @p elems floats (grows if needed). */
+    float *
+    lhsPanel(std::uint64_t elems)
+    {
+        return panel(lhs_, elems);
+    }
+
+    /** Writable RHS panel of at least @p elems floats (grows if needed). */
+    float *
+    rhsPanel(std::uint64_t elems)
+    {
+        return panel(rhs_, elems);
+    }
+
+    /** Return the panels to the pool (RsnMachine::reset / FU teardown). */
+    void
+    release()
+    {
+        lhs_.release();
+        rhs_.release();
+    }
+
+  private:
+    static float *
+    panel(sim::TileRef &t, std::uint64_t elems)
+    {
+        if (t.capacity() < elems)
+            t = sim::TilePool::instance().acquire(elems);
+        return t.mutableData();
+    }
+
+    sim::TileRef lhs_;
+    sim::TileRef rhs_;
+};
+
+/**
+ * Blocked accumulating matrix product: acc(m x n) += lhs(m x k) @
+ * rhs(k x n), row-major, packing through @p scratch. Any dimension may
+ * be zero (no-op). See the file comment for the FP tolerance contract
+ * relative to gemmRefAccumulate.
+ */
+void gemmAccumulate(GemmScratch &scratch, float *acc, const float *lhs,
+                    const float *rhs, std::uint32_t m, std::uint32_t k,
+                    std::uint32_t n);
+
+} // namespace rsn::fu
+
+#endif // RSN_FU_GEMM_KERNEL_HH

@@ -31,20 +31,46 @@ namespace {
 
 /**
  * Publish a row-slice of a staged tile (functional runs only). This is a
- * refcount-aliased view of the buffer — no acquire, no copy: consumers
- * read [row_off*cols, (row_off+rows)*cols) of the parent tile directly.
+ * refcount-aliased view of a staged segment — no acquire, no copy:
+ * consumers read [row_off*cols, (row_off+rows)*cols) of the staged data
+ * directly. Only a slice that straddles a gather-segment boundary
+ * forces the buffer to materialize contiguously first
+ * (sim::GatherTile::window).
  */
 sim::Chunk
-sliceChunk(const TileBuffer &buf, std::uint32_t row_off,
-           std::uint32_t rows, std::uint32_t tag)
+sliceChunk(TileBuffer &buf, std::uint32_t row_off, std::uint32_t rows,
+           std::uint32_t tag)
 {
     if (!buf.hasData())
         return sim::makeChunk(rows, buf.cols, tag);
     return sim::makeTileChunk(
         rows, buf.cols,
-        buf.tile.slice(std::uint64_t(row_off) * buf.cols,
-                       std::uint64_t(rows) * buf.cols),
+        buf.tile.window(std::uint64_t(row_off) * buf.cols,
+                        std::uint64_t(rows) * buf.cols),
         tag);
+}
+
+/**
+ * Run a row-wise transform over every staged segment: @p fn gets a
+ * writable pointer (copy-on-write per segment), the segment's row
+ * count, and its starting row. Segments always hold whole rows — MME
+ * outputs and row-slices are row-granular — so row-wise operators never
+ * need the buffer to be contiguous.
+ */
+template <typename Fn>
+void
+forEachOwnedSegment(TileBuffer &buf, Fn &&fn)
+{
+    std::uint32_t row_off = 0;
+    for (std::size_t i = 0; i < buf.tile.segments(); ++i) {
+        const std::uint64_t seg_elems = buf.tile.segmentElems(i);
+        rsn_assert(buf.cols > 0 && seg_elems % buf.cols == 0,
+                   "gather segment not row-granular");
+        const auto seg_rows =
+            static_cast<std::uint32_t>(seg_elems / buf.cols);
+        fn(buf.tile.segmentMutable(i), seg_rows, row_off);
+        row_off += seg_rows;
+    }
 }
 
 } // namespace
@@ -65,7 +91,9 @@ MemAFu::loadPart(const isa::MemAUop &u, TileBuffer &buf)
     buf.cols = c.cols;
     // Adopt the payload tile by reference: the DDR FU loaded it straight
     // from host memory into a pooled tile, so staging is a pointer move.
-    buf.tile = std::move(c.data);
+    buf.tile.clear();
+    if (c.hasData())
+        buf.tile.append(std::move(c.data), c.elems());
 }
 
 sim::Task
@@ -124,6 +152,7 @@ MemBFu::loadPart(const isa::MemBUop &u, TileBuffer &buf)
 {
     sim::Chunk c = co_await in(u.src).recv();
     countIn(c);
+    buf.tile.clear();
     if (u.transpose) {
         buf.rows = c.cols;
         buf.cols = c.rows;
@@ -137,14 +166,13 @@ MemBFu::loadPart(const isa::MemBUop &u, TileBuffer &buf)
                 for (std::uint32_t j = 0; j < c.cols; ++j)
                     dst[std::size_t(j) * c.rows + i] =
                         src[std::size_t(i) * c.cols + j];
-            buf.tile = std::move(t);
-        } else {
-            buf.tile.release();
+            buf.tile.append(std::move(t), c.elems());
         }
     } else {
         buf.rows = c.rows;
         buf.cols = c.cols;
-        buf.tile = std::move(c.data);
+        if (c.hasData())
+            buf.tile.append(std::move(c.data), c.elems());
     }
 }
 
@@ -200,38 +228,25 @@ MemCFu::MemCFu(sim::Engine &eng, FuId id, FuId mme_src, FuId ddr,
 sim::Task
 MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
 {
-    // Assemble the tile from the partner MME. A single-chunk tile is
-    // adopted by reference; multi-chunk tiles gather into one pooled
-    // staging tile sized from the first chunk (the first slice carries
-    // the remainder, so first.rows * recv_chunks bounds the total).
+    // Assemble the tile from the partner MME as a gather view: every
+    // chunk payload is adopted as a segment (a refcount move), never
+    // copied into a staging tile. A contiguous buffer materializes only
+    // if a later consumer needs a window that straddles segments.
     buf.rows = 0;
     buf.cols = 0;
-    buf.tile.release();
-    std::uint64_t staged_cap = 0;
+    buf.tile.clear();
     std::uint32_t row_fill = 0;
     for (std::uint32_t i = 0; i < u.recv_chunks; ++i) {
         sim::Chunk c = co_await in(mme_src_).recv();
         countIn(c);
-        if (i == 0) {
+        if (i == 0)
             buf.cols = c.cols;
-            if (c.hasData()) {
-                if (u.recv_chunks == 1) {
-                    buf.tile = std::move(c.data);
-                    row_fill = c.rows;
-                    break;
-                }
-                staged_cap = std::uint64_t(c.rows) * u.recv_chunks *
-                             c.cols;
-                buf.tile = sim::TilePool::instance().acquire(staged_cap);
-            }
-        }
-        if (c.hasData() && buf.hasData()) {
-            std::uint64_t at = std::uint64_t(row_fill) * buf.cols;
-            rsn_assert(at + c.elems() <= staged_cap,
-                       "%s tile assembly overflow", name().c_str());
-            std::copy_n(c.data.data(), c.elems(),
-                        buf.tile.mutableData() + at);
-        }
+        else
+            rsn_assert(c.cols == buf.cols,
+                       "%s assembly width mismatch: %u vs %u",
+                       name().c_str(), c.cols, buf.cols);
+        if (c.hasData())
+            buf.tile.append(std::move(c.data), c.elems());
         row_fill += c.rows;
     }
     buf.rows = row_fill;
@@ -240,22 +255,23 @@ MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
     const double elems = double(buf.rows) * buf.cols;
     const std::uint64_t n = std::uint64_t(buf.rows) * buf.cols;
 
-    // Writable staging data, taken lazily on the first fused operator:
-    // in place when this MemC is the tile's sole owner (the steady
-    // state), copy-on-write when the producer still shares it.
-    float *td = nullptr;
-    auto owned = [&]() {
-        if (!td)
-            td = buf.tile.ensureUnique(n);
-        return td;
-    };
+    // The fused operators are all row-wise (or element-wise), so they
+    // run segment by segment — copy-on-write per segment when a
+    // producer still shares it (TileRef::ensureUnique), in place in the
+    // steady state where this MemC solely owns the MME's output tiles.
 
     if (u.add_residual) {
         sim::Chunk res = co_await in(ddr_).recv();
         countIn(res);
         if (res.hasData() && buf.hasData()) {
             rsn_assert(res.elems() == n, "residual shape mismatch");
-            addInplace(owned(), res.data.data(), n);
+            const float *rp = res.data.data();
+            forEachOwnedSegment(
+                buf, [&](float *p, std::uint32_t rows,
+                         std::uint32_t row_off) {
+                    addInplace(p, rp + std::uint64_t(row_off) * buf.cols,
+                               std::uint64_t(rows) * buf.cols);
+                });
         }
         flops += elems * kResidualFlopsPerElem;
     }
@@ -270,17 +286,26 @@ MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
 
     if (u.softmax) {
         if (buf.hasData())
-            softmaxRows(owned(), buf.rows, buf.cols);
+            forEachOwnedSegment(buf, [&](float *p, std::uint32_t rows,
+                                         std::uint32_t) {
+                softmaxRows(p, rows, buf.cols);
+            });
         flops += elems * kSoftmaxFlopsPerElem;
     }
     if (u.gelu) {
         if (buf.hasData())
-            geluInplace(owned(), n);
+            forEachOwnedSegment(buf, [&](float *p, std::uint32_t rows,
+                                         std::uint32_t) {
+                geluInplace(p, std::uint64_t(rows) * buf.cols);
+            });
         flops += elems * kGeluFlopsPerElem;
     }
     if (u.layernorm) {
         if (buf.hasData())
-            layernormRows(owned(), buf.rows, buf.cols);
+            forEachOwnedSegment(buf, [&](float *p, std::uint32_t rows,
+                                         std::uint32_t) {
+                layernormRows(p, rows, buf.cols);
+            });
         flops += elems * kLayernormFlopsPerElem;
     }
     if (u.scale_shift && buf.hasData() && params.hasData()) {
@@ -288,8 +313,11 @@ MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
                    "%s gamma/beta block narrower than tile (%u < %u)",
                    name().c_str(), params.cols, buf.cols);
         const float *gamma = params.data.data();
-        scaleShiftRows(owned(), buf.rows, buf.cols, gamma,
-                       gamma + params.cols);
+        forEachOwnedSegment(buf, [&](float *p, std::uint32_t rows,
+                                     std::uint32_t) {
+            scaleShiftRows(p, rows, buf.cols, gamma,
+                           gamma + params.cols);
+        });
     }
 
     if (flops > 0) {

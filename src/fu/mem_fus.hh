@@ -9,12 +9,15 @@
  * residual add) and can re-inject results into the network as the next
  * layer's operand (dynamic pipeline chaining).
  *
- * Staging is zero-copy: a TileBuffer holds a pooled sim::TileRef, loads
- * adopt the incoming chunk's tile by reference, and row-slices leave as
- * offset/length views aliasing the buffered tile (sim/tile_pool.hh).
- * MemC, the only writer, takes ownership of its staging tile with
- * TileRef::ensureUnique (copy-on-write) before fusing operators in
- * place. Ownership rules are documented in docs/datapath.md.
+ * Staging is zero-copy: a TileBuffer holds a sim::GatherTile of pooled
+ * tile segments, loads adopt the incoming chunk's tile by reference
+ * (multi-chunk assembly appends segments instead of copying payloads),
+ * and row-slices leave as offset/length views aliasing the staged
+ * segments (sim/tile_pool.hh). MemC, the only writer, fuses its
+ * operators segment by segment under the usual copy-on-write rule
+ * (TileRef::ensureUnique); a contiguous tile is materialized only when
+ * a published slice straddles a segment boundary. Ownership rules are
+ * documented in docs/datapath.md.
  */
 
 #ifndef RSN_FU_MEM_FUS_HH
@@ -30,9 +33,9 @@ namespace rsn::fu {
 struct TileBuffer {
     std::uint32_t rows = 0;
     std::uint32_t cols = 0;
-    sim::TileRef tile;  ///< Empty in timing-only runs.
+    sim::GatherTile tile;  ///< Empty in timing-only runs.
 
-    bool hasData() const { return static_cast<bool>(tile); }
+    bool hasData() const { return !tile.empty(); }
 };
 
 /** LHS scratchpad. Sends row-slices of the buffered tile toward MeshA. */

@@ -67,24 +67,14 @@ MmeFu::runKernel(const isa::Uop &uop)
                     acc = sim::TilePool::instance().acquire(out_elems);
                     std::fill_n(acc.mutableData(), out_elems, 0.f);
                 }
-                // Accumulating tile product (output-stationary). The
+                // Accumulating tile product (output-stationary) through
+                // the blocked microkernel (fu/gemm_kernel.hh). The
                 // operands are often refcount-aliased views of a Mem FU's
-                // staging tile; read them through raw row pointers.
-                float *accp = acc.mutableData();
-                const float *lp = lhs.data.data();
-                const float *rp = rhs.data.data();
-                for (std::uint32_t i = 0; i < lhs.rows; ++i) {
-                    const float *lrow = lp + std::size_t(i) * lhs.cols;
-                    float *dst = accp + std::size_t(i) * out_cols;
-                    for (std::uint32_t k = 0; k < lhs.cols; ++k) {
-                        float av = lrow[k];
-                        if (av == 0.f)
-                            continue;
-                        const float *rrow = rp + std::size_t(k) * rhs.cols;
-                        for (std::uint32_t j = 0; j < rhs.cols; ++j)
-                            dst[j] += av * rrow[j];
-                    }
-                }
+                // staging tile; the kernel packs them into this FU's
+                // scratch panels, so views need no special handling.
+                gemmAccumulate(scratch_, acc.mutableData(),
+                               lhs.data.data(), rhs.data.data(), lhs.rows,
+                               lhs.cols, rhs.cols);
             }
 
             if (!u.accum_k) {
@@ -122,6 +112,12 @@ MmeFu::runKernel(const isa::Uop &uop)
             co_await out_s.send(std::move(result));
         }
     }
+}
+
+void
+MmeFu::resetKernelState()
+{
+    scratch_.release();
 }
 
 } // namespace rsn::fu

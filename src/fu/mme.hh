@@ -13,6 +13,7 @@
 
 #include "fu/aie_model.hh"
 #include "fu/fu.hh"
+#include "fu/gemm_kernel.hh"
 
 namespace rsn::fu {
 
@@ -26,12 +27,16 @@ class MmeFu : public Fu
 
   protected:
     sim::Task runKernel(const isa::Uop &uop) override;
+    void resetKernelState() override;
 
   private:
     AieModel model_;
     FuId lhs_src_;
     FuId rhs_src_;
     FuId out_dst_;
+    /** Packing panels for the blocked GEMM microkernel, reused across
+     *  every chunk product this FU computes (allocated from TilePool). */
+    GemmScratch scratch_;
 };
 
 } // namespace rsn::fu

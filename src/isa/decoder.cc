@@ -53,10 +53,13 @@ DecoderUnit::reset()
         type_tasks_[t] = {};
         pkt_ch_[t].reset();
         type_done_[t] = false;
+        uop_cache_[t].clear();
     }
     packets_fetched_ = 0;
     uops_issued_ = 0;
     bytes_fetched_ = 0;
+    uop_expansions_ = 0;
+    uop_cache_replays_ = 0;
 }
 
 sim::Task
@@ -78,25 +81,35 @@ sim::Task
 DecoderUnit::typeLoop(FuType t)
 {
     PktChannel &ch = *pkt_ch_[static_cast<int>(t)];
+    std::vector<Uop> &cache = uop_cache_[static_cast<int>(t)];
     while (true) {
         const RsnPacket *p = co_await ch.recv();
         if (!p)
             break;
-        // Replay the mOP window `reuse` times (packet reuse, Fig. 8).
+        // Expand the packet's mOP window once into the per-type uOP
+        // cache; the `reuse` replay passes (Fig. 8) then issue straight
+        // from it. The buffer is recycled across packets, so the
+        // expansion itself only allocates while a window grows beyond
+        // anything seen before. Issue order matches the expand-per-pass
+        // code exactly, so simulated timing is unchanged.
+        cache.clear();
+        for (const Uop &mop : p->mops)
+            expandMopInto(mop, cache);
+        uop_expansions_ += cache.size();
         for (std::uint32_t pass = 0; pass < p->reuse; ++pass) {
-            for (const Uop &mop : p->mops) {
-                for (const Uop &u : expandMop(mop)) {
-                    for (std::uint32_t i = 0; i < kMaxMaskBits; ++i) {
-                        if (!(p->mask & (1u << i)))
-                            continue;
-                        fu::Fu *f = lookup(
-                            FuId{t, static_cast<std::uint8_t>(i)});
-                        rsn_assert(f, "packet targets missing %s%u",
-                                   fuTypeName(t), i);
-                        co_await eng_.delay(cfg_.ticks_per_uop);
-                        co_await f->uopQueue().send(u);
-                        ++uops_issued_;
-                    }
+            if (pass > 0)
+                uop_cache_replays_ += cache.size();
+            for (const Uop &u : cache) {
+                for (std::uint32_t i = 0; i < kMaxMaskBits; ++i) {
+                    if (!(p->mask & (1u << i)))
+                        continue;
+                    fu::Fu *f = lookup(
+                        FuId{t, static_cast<std::uint8_t>(i)});
+                    rsn_assert(f, "packet targets missing %s%u",
+                               fuTypeName(t), i);
+                    co_await eng_.delay(cfg_.ticks_per_uop);
+                    co_await f->uopQueue().send(u);
+                    ++uops_issued_;
                 }
             }
         }

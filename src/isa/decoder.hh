@@ -9,7 +9,14 @@
  * are too shallow (depth 6 is reported deadlock-free).
  *
  * Level 2 (per FU type): replays each packet's mOP window `reuse` times and
- * expands mOPs into uOPs (strided DDR/LPDDR mOPs unroll per block).
+ * expands mOPs into uOPs (strided DDR/LPDDR mOPs unroll per block). Each
+ * second-level decoder owns a per-mOP-window **uOP cache**: a packet's
+ * window is expanded exactly once into a reusable buffer, and the
+ * `reuse` replay passes issue straight from the cache instead of
+ * re-expanding every pass (the buffer is recycled across packets, so
+ * steady-state decoding allocates nothing). Issue order and per-uOP
+ * decode delays are identical to the uncached path — the cache is a
+ * host-side optimization with no simulated-timing footprint.
  *
  * Level 3 (per FU): the bounded uOP queue inside each Fu.
  */
@@ -69,6 +76,12 @@ class DecoderUnit
     Bytes instructionBytesFetched() const { return bytes_fetched_; }
     /** @} */
 
+    /** @{ uOP cache stats: window expansions performed vs. expansions
+     *  the replay passes reused from the cache. */
+    std::uint64_t uopExpansions() const { return uop_expansions_; }
+    std::uint64_t uopCacheReplays() const { return uop_cache_replays_; }
+    /** @} */
+
     /** Describe stalled decoder stages (deadlock diagnostics). */
     std::string stateString() const;
 
@@ -90,9 +103,15 @@ class DecoderUnit
     sim::Task fetch_task_;
     bool fetch_done_ = false;
 
+    /** Per-type uOP cache: the current packet's expanded mOP window.
+     *  Cleared (capacity kept) per packet, replayed per pass. */
+    std::array<std::vector<Uop>, kNumFuTypes> uop_cache_;
+
     std::uint64_t packets_fetched_ = 0;
     std::uint64_t uops_issued_ = 0;
     Bytes bytes_fetched_ = 0;
+    std::uint64_t uop_expansions_ = 0;
+    std::uint64_t uop_cache_replays_ = 0;
 };
 
 } // namespace rsn::isa

@@ -273,10 +273,9 @@ RsnPacket::valid(std::string *why) const
     return true;
 }
 
-std::vector<Uop>
-expandMop(const Uop &mop)
+void
+expandMopInto(const Uop &mop, std::vector<Uop> &out)
 {
-    std::vector<Uop> out;
     if (const auto *d = std::get_if<DdrUop>(&mop)) {
         for (std::uint32_t i = 0; i < d->stride_count; ++i) {
             DdrUop u = *d;
@@ -285,7 +284,7 @@ expandMop(const Uop &mop)
             u.stride_offset = 0;
             out.emplace_back(u);
         }
-        return out;
+        return;
     }
     if (const auto *l = std::get_if<LpddrUop>(&mop)) {
         for (std::uint32_t i = 0; i < l->stride_count; ++i) {
@@ -295,9 +294,16 @@ expandMop(const Uop &mop)
             u.stride_offset = 0;
             out.emplace_back(u);
         }
-        return out;
+        return;
     }
     out.push_back(mop);
+}
+
+std::vector<Uop>
+expandMop(const Uop &mop)
+{
+    std::vector<Uop> out;
+    expandMopInto(mop, out);
     return out;
 }
 

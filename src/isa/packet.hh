@@ -59,6 +59,10 @@ struct RsnPacket {
  */
 std::vector<Uop> expandMop(const Uop &mop);
 
+/** Append @p mop's expansion to @p out (the allocation-free form the
+ *  decoder's uOP cache fills; expandMop wraps it). */
+void expandMopInto(const Uop &mop, std::vector<Uop> &out);
+
 /** A full RSN program: the packet sequence plus measurement helpers. */
 class RsnProgram
 {

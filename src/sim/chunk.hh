@@ -30,8 +30,6 @@ namespace rsn::sim {
 struct Chunk {
     std::uint32_t rows = 0;
     std::uint32_t cols = 0;
-    /** Payload size on the wire; defaults to rows*cols*sizeof(float). */
-    Bytes bytes = 0;
     /** Optional functional payload, row-major rows x cols (pooled). */
     TileRef data;
     /** Free-form tag for debugging / assertions (e.g. k-step index). */
@@ -41,6 +39,14 @@ struct Chunk {
     {
         return std::uint64_t(rows) * cols;
     }
+
+    /**
+     * Payload size on the wire: always rows*cols*sizeof(float). Derived
+     * rather than stored — every producer computed exactly this, and
+     * dropping the field keeps Chunk at 32 bytes (it moves by value
+     * through the stream rings on the per-chunk fast path).
+     */
+    Bytes bytes() const { return Bytes(rows) * cols * sizeof(float); }
 
     bool hasData() const { return static_cast<bool>(data); }
 
@@ -65,8 +71,7 @@ struct Chunk {
 inline Chunk
 makeChunk(std::uint32_t rows, std::uint32_t cols, std::uint32_t tag = 0)
 {
-    return Chunk{rows, cols, Bytes(rows) * cols * sizeof(float), TileRef{},
-                 tag};
+    return Chunk{rows, cols, TileRef{}, tag};
 }
 
 /** Make a functional chunk around an already-filled pooled tile. */
@@ -76,8 +81,7 @@ makeTileChunk(std::uint32_t rows, std::uint32_t cols, TileRef tile,
 {
     rsn_assert(tile.capacity() >= std::uint64_t(rows) * cols,
                "tile too small for %ux%u chunk", rows, cols);
-    return Chunk{rows, cols, Bytes(rows) * cols * sizeof(float),
-                 std::move(tile), tag};
+    return Chunk{rows, cols, std::move(tile), tag};
 }
 
 /** Make a functional chunk by copying @p values into a pooled tile. */

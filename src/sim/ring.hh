@@ -52,6 +52,18 @@ class Ring
         return std::move(buf_[head_++ & mask()]);
     }
 
+    /**
+     * Retire the front slot without moving it out. For callers that
+     * already consumed the front through front() — the slot keeps its
+     * moved-from value, exactly as after pop_front().
+     */
+    void
+    drop_front()
+    {
+        rsn_assert(!empty(), "ring underflow");
+        ++head_;
+    }
+
   private:
     std::size_t mask() const { return buf_.size() - 1; }
 

@@ -138,7 +138,7 @@ class Stream
     {
         if (!pending_.empty() || claimed() >= cap_)
             return false;
-        admit(Xfer{std::move(c), {}, 0});
+        admit(std::move(c), {});
         return true;
     }
 
@@ -150,7 +150,7 @@ class Stream
     post(Chunk c)
     {
         if (pending_.empty() && claimed() < cap_)
-            admit(Xfer{std::move(c), {}, 0});
+            admit(std::move(c), {});
         else
             pending_.push_back(Xfer{std::move(c), {}, 0});
     }
@@ -197,17 +197,16 @@ class Stream
     /** Slots claimed = delivered-and-queued + admitted to the link. */
     std::size_t claimed() const { return q_.size() + xfer_.size(); }
 
-    /** Claim a slot and put @p x on the link behind earlier transfers. */
+    /** Claim a slot and put @p c on the link behind earlier transfers. */
     void
-    admit(Xfer x)
+    admit(Chunk &&c, std::coroutine_handle<> waiter)
     {
         Tick start = std::max(eng_.now(), link_free_);
-        x.end = start + transferTicks(x.c.bytes);
-        busy_ticks_ += x.end - start;
-        link_free_ = x.end;
+        Tick end = start + transferTicks(c.bytes());
+        busy_ticks_ += end - start;
+        link_free_ = end;
         bool link_was_idle = xfer_.empty();
-        Tick end = x.end;
-        xfer_.push_back(std::move(x));
+        xfer_.push_back(Xfer{std::move(c), waiter, end});
         if (link_was_idle)
             scheduleCompletion(end);
     }
@@ -216,8 +215,13 @@ class Stream
     void
     pump()
     {
-        while (!pending_.empty() && claimed() < cap_)
-            admit(pending_.pop_front());
+        while (!pending_.empty() && claimed() < cap_) {
+            Xfer &p = pending_.front();
+            Chunk c = std::move(p.c);
+            std::coroutine_handle<> waiter = p.waiter;
+            pending_.drop_front();
+            admit(std::move(c), waiter);
+        }
     }
 
     /** Raw engine callback firing at a transfer's end tick. */
@@ -244,8 +248,13 @@ class Stream
     {
         rsn_assert(!xfer_.empty(), "completion with no transfer in flight");
         rsn_assert(xfer_.front().end == eng_.now(), "completion mistimed");
-        Xfer x = xfer_.pop_front();
-        bytes_transferred_ += x.c.bytes;
+        // Consume the head transfer in place (one Chunk move straight to
+        // its destination) instead of moving the whole Xfer out.
+        Xfer &head = xfer_.front();
+        Chunk c = std::move(head.c);
+        std::coroutine_handle<> sender = head.waiter;
+        xfer_.drop_front();
+        bytes_transferred_ += c.bytes();
         ++chunks_transferred_;
         if (!xfer_.empty())
             scheduleCompletion(xfer_.front().end);
@@ -255,15 +264,15 @@ class Stream
             // keep claim accounting consistent, then resume.
             rsn_assert(q_.empty(), "receiver waiting on non-empty stream");
             RecvAwaiter *w = recv_waiters_.pop_front();
-            w->got = std::move(x.c);
+            w->got = std::move(c);
             w->has_got = true;
             pump();
             w->waiter.resume();
         } else {
-            q_.push_back(std::move(x.c));
+            q_.push_back(std::move(c));
         }
-        if (x.waiter)
-            x.waiter.resume();
+        if (sender)
+            sender.resume();
         if (xfer_.empty() && pending_.empty())
             while (!flush_waiters_.empty())
                 eng_.resumeNow(flush_waiters_.pop_front());
@@ -279,7 +288,7 @@ class Stream
         await_suspend(std::coroutine_handle<> h)
         {
             if (s.pending_.empty() && s.claimed() < s.cap_)
-                s.admit(Xfer{std::move(c), h, 0});
+                s.admit(std::move(c), h);
             else
                 s.pending_.push_back(Xfer{std::move(c), h, 0});
         }

@@ -24,6 +24,74 @@ TileRef::ensureUnique(std::uint64_t elems)
     return h_->payload();
 }
 
+void
+GatherTile::append(TileRef tile, std::uint64_t elems)
+{
+    rsn_assert(tile && elems > 0 && tile.capacity() >= elems,
+               "gather segment smaller than its logical size");
+    // Adjacent views of one buffer knit back into a single segment —
+    // the send side slices a staged tile into row windows, so a
+    // receiver that gathers them in order reassembles the original
+    // tile as pure window arithmetic (no copy, no list growth). Only
+    // merge exact windows: a whole-tile segment's bucket capacity may
+    // exceed its logical size, and widening across that gap would
+    // expose unrelated storage.
+    if (count_ > 0 && elems == tile.capacity()) {
+        Seg &last = segs_[count_ - 1];
+        if (last.elems == last.tile.capacity() &&
+            last.tile.tryExtend(tile)) {
+            last.elems += elems;
+            total_ += elems;
+            return;
+        }
+    }
+    if (count_ == kInlineSegments)
+        materialize();
+    segs_[count_].tile = std::move(tile);
+    segs_[count_].elems = elems;
+    ++count_;
+    total_ += elems;
+}
+
+TileRef &
+GatherTile::materialize()
+{
+    rsn_assert(count_ > 0, "materialize of empty gather");
+    if (count_ == 1)
+        return segs_[0].tile;
+    TileRef whole = TilePool::instance().acquire(total_);
+    float *dst = whole.mutableData();
+    for (std::size_t i = 0; i < count_; ++i) {
+        std::copy_n(segs_[i].tile.data(), segs_[i].elems, dst);
+        dst += segs_[i].elems;
+        segs_[i].tile.release();
+    }
+    segs_[0].tile = std::move(whole);
+    segs_[0].elems = total_;
+    count_ = 1;
+    return segs_[0].tile;
+}
+
+TileRef
+GatherTile::window(std::uint64_t off, std::uint64_t len)
+{
+    rsn_assert(len > 0 && off + len <= total_,
+               "gather window [%llu,+%llu) outside %llu elems",
+               static_cast<unsigned long long>(off),
+               static_cast<unsigned long long>(len),
+               static_cast<unsigned long long>(total_));
+    std::uint64_t seg_off = 0;
+    for (std::size_t i = 0; i < count_; ++i) {
+        if (off < seg_off + segs_[i].elems) {
+            if (off + len <= seg_off + segs_[i].elems)
+                return segs_[i].tile.slice(off - seg_off, len);
+            break;  // straddles a boundary: need contiguity
+        }
+        seg_off += segs_[i].elems;
+    }
+    return materialize().slice(off, len);
+}
+
 TilePool &
 TilePool::instance()
 {
@@ -48,8 +116,12 @@ TilePool::acquire(std::uint64_t elems)
         return TileRef{h};
     }
     std::uint64_t cap = std::uint64_t(1) << (bucket + kMinElemsLog2);
+    // Cache-line-aligned buffers: the header is 32 bytes, so payloads
+    // land 32-byte aligned — which the SIMD GEMM packing panels rely on
+    // (gemm_kernel.cc) and which keeps tile rows from straddling lines.
     void *raw = ::operator new(sizeof(detail::TileHdr) +
-                               cap * sizeof(float));
+                                   cap * sizeof(float),
+                               std::align_val_t{64});
     auto *h = ::new (raw) detail::TileHdr{this, nullptr, cap, 1, bucket};
     ++buffers_allocated_;
     return TileRef{h};
@@ -73,7 +145,8 @@ TilePool::~TilePool()
         while (head) {
             detail::TileHdr *next = head->next;
             head->~TileHdr();
-            ::operator delete(static_cast<void *>(head));
+            ::operator delete(static_cast<void *>(head),
+                              std::align_val_t{64});
             head = next;
         }
     }

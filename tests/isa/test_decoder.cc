@@ -120,6 +120,30 @@ TEST(Decoder, ReuseReplaysWholeWindowInOrder)
     EXPECT_EQ(std::get<MemAUop>(fu.seen[5]).rows, 18u);
 }
 
+TEST(Decoder, UopCacheExpandsOncePerPacketAndReplays)
+{
+    // A window of 3 mOPs replayed 5 times: the second-level decoder
+    // must expand the window exactly once and issue the other 4 passes
+    // from its uOP cache (ISSUE 4) — with issue order and totals
+    // identical to re-expanding every pass.
+    DecoderRig rig;
+    auto &fu = rig.add(FuType::MemA, 0);
+    RsnProgram prog;
+    prog.append(memaPacket(0x1, /*reuse=*/5, /*window=*/3));
+    prog.appendHalts(onlyMemA(1));
+    rig.start(prog);
+    ASSERT_TRUE(rig.eng.run());
+    ASSERT_EQ(fu.seen.size(), 15u);
+    for (int pass = 0; pass < 5; ++pass)
+        for (int i = 0; i < 3; ++i)
+            EXPECT_EQ(std::get<MemAUop>(fu.seen[pass * 3 + i]).rows,
+                      16 + i)
+                << "pass " << pass << " uop " << i;
+    EXPECT_EQ(rig.dec.uopExpansions(), 3u);
+    EXPECT_EQ(rig.dec.uopCacheReplays(), 12u);  // 4 cached passes x 3
+    EXPECT_EQ(rig.dec.uopsIssued(), 16u);       // 15 + halt
+}
+
 TEST(Decoder, MaskFansOutToSelectedInstances)
 {
     DecoderRig rig;

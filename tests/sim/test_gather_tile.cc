@@ -1,0 +1,150 @@
+/**
+ * @file
+ * GatherTile semantics (ISSUE 4): scatter/gather composition of pooled
+ * tile segments, lazy materialization, adjacent-view knitting, and the
+ * per-segment copy-on-write rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "sim/tile_pool.hh"
+
+namespace {
+
+using rsn::sim::GatherTile;
+using rsn::sim::TilePool;
+using rsn::sim::TileRef;
+
+TileRef
+filledTile(std::uint64_t elems, float base)
+{
+    TileRef t = TilePool::instance().acquire(elems);
+    float *d = t.mutableData();
+    for (std::uint64_t i = 0; i < elems; ++i)
+        d[i] = base + float(i);
+    return t;
+}
+
+TEST(GatherTile, AdoptsSegmentsWithoutCopying)
+{
+    GatherTile g;
+    EXPECT_TRUE(g.empty());
+    TileRef a = filledTile(64, 0.f);
+    const float *pa = a.data();
+    g.append(std::move(a), 64);
+    TileRef b = filledTile(128, 1000.f);
+    const float *pb = b.data();
+    g.append(std::move(b), 100);  // logical size below bucket capacity
+    EXPECT_EQ(g.segments(), 2u);
+    EXPECT_EQ(g.elems(), 164u);
+    EXPECT_FALSE(g.contiguous());
+    // The segments are the very buffers the producers filled.
+    EXPECT_EQ(g.segment(0).data(), pa);
+    EXPECT_EQ(g.segment(1).data(), pb);
+    g.clear();
+    EXPECT_TRUE(g.empty());
+}
+
+TEST(GatherTile, WindowInsideOneSegmentIsAView)
+{
+    GatherTile g;
+    g.append(filledTile(64, 0.f), 64);
+    g.append(filledTile(64, 100.f), 64);
+    const std::uint64_t acquires = TilePool::instance().acquires();
+    TileRef w = g.window(70, 32);  // inside segment 1: [6, 38)
+    EXPECT_EQ(TilePool::instance().acquires(), acquires) << "view copied";
+    EXPECT_EQ(w.data(), g.segment(1).data() + 6);
+    EXPECT_FLOAT_EQ(w.data()[0], 106.f);
+    EXPECT_EQ(g.segments(), 2u) << "in-segment window must not collapse";
+}
+
+TEST(GatherTile, WindowAcrossSegmentsMaterializes)
+{
+    GatherTile g;
+    g.append(filledTile(64, 0.f), 64);
+    g.append(filledTile(64, 1000.f), 64);
+    TileRef w = g.window(60, 8);  // straddles the boundary
+    EXPECT_TRUE(g.contiguous()) << "straddling window must materialize";
+    EXPECT_EQ(g.elems(), 128u);
+    // The window sees the concatenation, in order.
+    EXPECT_FLOAT_EQ(w.data()[0], 60.f);
+    EXPECT_FLOAT_EQ(w.data()[3], 63.f);
+    EXPECT_FLOAT_EQ(w.data()[4], 1000.f);
+    // And materialization preserved every element.
+    TileRef &whole = g.materialize();
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_FLOAT_EQ(whole.data()[i], float(i));
+        EXPECT_FLOAT_EQ(whole.data()[64 + i], 1000.f + float(i));
+    }
+}
+
+TEST(GatherTile, AdjacentViewsKnitBackIntoOneSegment)
+{
+    // The Mem FU round trip: a producer stages one tile, publishes row
+    // slices, and a consumer gathers them in order — the gather must
+    // reassemble the original tile as window arithmetic, not segments.
+    TileRef staged = filledTile(256, 0.f);
+    GatherTile g;
+    const std::uint64_t acquires = TilePool::instance().acquires();
+    for (int i = 0; i < 8; ++i)
+        g.append(staged.slice(i * 32, 32), 32);
+    EXPECT_EQ(g.segments(), 1u);
+    EXPECT_TRUE(g.contiguous());
+    EXPECT_EQ(g.elems(), 256u);
+    EXPECT_EQ(g.segment(0).data(), staged.data());
+    EXPECT_EQ(TilePool::instance().acquires(), acquires);
+    // Non-adjacent (gap) views must stay separate segments.
+    GatherTile h;
+    h.append(staged.slice(0, 32), 32);
+    h.append(staged.slice(64, 32), 32);
+    EXPECT_EQ(h.segments(), 2u);
+    // Out-of-order adjacency must not merge either.
+    GatherTile r;
+    r.append(staged.slice(32, 32), 32);
+    r.append(staged.slice(0, 32), 32);
+    EXPECT_EQ(r.segments(), 2u);
+}
+
+TEST(GatherTile, OverflowingTheSegmentListCollapsesFirst)
+{
+    GatherTile g;
+    std::vector<const float *> bufs;
+    for (std::size_t i = 0; i < GatherTile::kInlineSegments + 3; ++i) {
+        TileRef t = filledTile(64, float(1000 * i));
+        bufs.push_back(t.data());
+        g.append(std::move(t), 64);
+    }
+    EXPECT_LE(g.segments(), GatherTile::kInlineSegments);
+    EXPECT_EQ(g.elems(), 64u * (GatherTile::kInlineSegments + 3));
+    TileRef &whole = g.materialize();
+    for (std::size_t i = 0; i < GatherTile::kInlineSegments + 3; ++i)
+        EXPECT_FLOAT_EQ(whole.data()[i * 64], float(1000 * i))
+            << "segment " << i << " lost across overflow collapse";
+    (void)bufs;
+}
+
+TEST(GatherTile, SegmentMutableCopiesOnlySharedSegments)
+{
+    // Sole-owner segment: in-place (the steady state — MemC adopted the
+    // MME's tile and the MME dropped its ref).
+    GatherTile g;
+    g.append(filledTile(64, 0.f), 64);
+    const float *before = g.segment(0).data();
+    float *p = g.segmentMutable(0);
+    EXPECT_EQ(p, before) << "sole-owner segment must mutate in place";
+
+    // Shared segment: the producer still aliases the buffer, so the
+    // gather must copy-on-write and the original stays untouched.
+    TileRef staged = filledTile(64, 0.f);
+    GatherTile s;
+    s.append(staged.slice(0, 64), 64);
+    float *q = s.segmentMutable(0);
+    EXPECT_NE(q, staged.data()) << "shared segment mutated in place";
+    q[0] = -1.f;
+    EXPECT_FLOAT_EQ(staged.data()[0], 0.f) << "broadcast immutability";
+}
+
+} // namespace

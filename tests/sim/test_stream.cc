@@ -54,7 +54,7 @@ TEST(Stream, SingleTransferTakesLinkTime)
     EXPECT_TRUE(snd.done() && rcv.done());
     EXPECT_EQ(e.now(), 64u);
     ASSERT_EQ(got.size(), 1u);
-    EXPECT_EQ(got[0].bytes, Bytes(4096));
+    EXPECT_EQ(got[0].bytes(), Bytes(4096));
     EXPECT_EQ(s.bytesTransferred(), Bytes(4096));
     EXPECT_EQ(s.busyTicks(), 64u);
 }

@@ -64,7 +64,7 @@ TEST(StreamEdge, ZeroByteChunkStillTakesOneTick)
     Stream s(e, 64.0, 2, "zero");
     EXPECT_EQ(s.transferTicks(0), 1u);
     auto snd = [&]() -> Task {
-        co_await s.send(Chunk{0, 0, 0, {}, 42});
+        co_await s.send(Chunk{0, 0, {}, 42});
     }();
     std::vector<Chunk> got;
     Task rcv = recvChunks(s, 1, got);

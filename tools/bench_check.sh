@@ -2,21 +2,31 @@
 # Benchmark regression check: run the sim-kernel microbenchmarks and
 # compare items/sec against the committed BENCH_sim.json snapshot.
 #
+# Reports a per-benchmark delta table over the UNION of baseline and
+# current benchmark names — added benchmarks are listed explicitly with
+# their fresh numbers (and remind you to refresh the snapshot), removed
+# benchmarks are treated as failures unless ALLOW_REMOVED=1 (silently
+# losing perf coverage is itself a regression). Alloc-per-item counters
+# are compared exactly: a path that was allocation-free in the snapshot
+# must stay allocation-free.
+#
 # A benchmark regresses when it falls below TOLERANCE x the committed
-# value (default 0.70, i.e. >30% slower — wide enough for noisy CI
+# items/sec (default 0.70, i.e. >30% slower — wide enough for noisy CI
 # runners, tight enough to catch real hot-path regressions). Exits
 # nonzero on any regression; the CI job wiring is non-blocking
 # (continue-on-error), so this shows up as a visible red mark without
 # gating the merge.
 #
 # Usage: tools/bench_check.sh [build-dir] [baseline-json]
-#   TOLERANCE=0.5 tools/bench_check.sh   # override the threshold
+#   TOLERANCE=0.5 tools/bench_check.sh    # override the threshold
+#   ALLOW_REMOVED=1 tools/bench_check.sh  # renamed/removed is expected
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD="${1:-build}"
 BASELINE="${2:-BENCH_sim.json}"
 TOLERANCE="${TOLERANCE:-0.70}"
+ALLOW_REMOVED="${ALLOW_REMOVED:-0}"
 
 if [[ ! -f "$BASELINE" ]]; then
     echo "error: baseline $BASELINE not found" >&2
@@ -32,44 +42,78 @@ CURRENT="$(mktemp --suffix=.json)"
 trap 'rm -f "$CURRENT"' EXIT
 tools/bench_json.sh "$BUILD" "$CURRENT"
 
-python3 - "$BASELINE" "$CURRENT" "$TOLERANCE" <<'EOF'
+python3 - "$BASELINE" "$CURRENT" "$TOLERANCE" "$ALLOW_REMOVED" <<'EOF'
 import json
 import sys
 
 baseline = json.load(open(sys.argv[1]))["events_per_second"]
 current = json.load(open(sys.argv[2]))["events_per_second"]
 tolerance = float(sys.argv[3])
+allow_removed = sys.argv[4] == "1"
+
+ALLOC_KEYS = ("allocs_per_event", "allocs_per_chunk", "allocs_per_tile")
 
 rows = []
-regressed = []
-for name, base in sorted(baseline.items()):
+problems = []
+added = []
+removed = []
+for name in sorted(set(baseline) | set(current)):
+    base = baseline.get(name)
     cur = current.get(name)
+    if base is None:
+        added.append(name)
+        ips = (cur or {}).get("items_per_second")
+        rows.append((name, None, ips, None, "NEW"))
+        continue
+    if cur is None:
+        removed.append(name)
+        rows.append((name, base.get("items_per_second"), None, None,
+                     "REMOVED"))
+        continue
     base_ips = base.get("items_per_second")
-    if cur is None or base_ips is None:
-        continue  # renamed/removed benchmark: not a regression
     cur_ips = cur.get("items_per_second") or 0.0
+    if base_ips is None:
+        continue
     ratio = cur_ips / base_ips if base_ips else float("inf")
-    ok = ratio >= tolerance
-    rows.append((name, base_ips, cur_ips, ratio, ok))
-    if not ok:
-        regressed.append(name)
+    notes = []
+    if ratio < tolerance:
+        notes.append("<< REGRESSED")
+        problems.append(f"{name} at {ratio:.2f}x baseline")
+    for key in ALLOC_KEYS:
+        if base.get(key) == 0.0 and (cur.get(key) or 0.0) > 0.0:
+            notes.append(f"<< {key}={cur[key]:.3g} (was 0)")
+            problems.append(f"{name} now allocates ({key})")
+    rows.append((name, base_ips, cur_ips, ratio, " ".join(notes)))
+
+def num(v):
+    return f"{v:12.3e}" if v is not None else f"{'—':>12}"
 
 w = max(len(r[0]) for r in rows) if rows else 10
 print(f"{'benchmark':<{w}}  {'baseline':>12}  {'current':>12}  "
       f"{'ratio':>6}")
-for name, base_ips, cur_ips, ratio, ok in rows:
-    mark = "" if ok else "  << REGRESSED"
-    print(f"{name:<{w}}  {base_ips:12.3e}  {cur_ips:12.3e}  "
-          f"{ratio:6.2f}{mark}")
+for name, base_ips, cur_ips, ratio, note in rows:
+    r = f"{ratio:6.2f}" if ratio is not None else f"{'—':>6}"
+    print(f"{name:<{w}}  {num(base_ips)}  {num(cur_ips)}  {r}  {note}")
 
-new = sorted(set(current) - set(baseline))
-if new:
-    print("\nnew benchmarks (no baseline): " + ", ".join(new))
+if added:
+    print(f"\n{len(added)} new benchmark(s) without a baseline: "
+          + ", ".join(added))
+    print("  -> refresh the snapshot: tools/bench_json.sh && "
+          "commit BENCH_sim.json")
+if removed:
+    print(f"\n{len(removed)} benchmark(s) missing from this build: "
+          + ", ".join(removed))
+    if not allow_removed:
+        problems.extend(f"{n} disappeared" for n in removed)
+        print("  -> renamed/removed deliberately? re-run with "
+              "ALLOW_REMOVED=1 and refresh BENCH_sim.json")
 
-if regressed:
-    print(f"\nFAIL: {len(regressed)} benchmark(s) below "
-          f"{tolerance:.2f}x baseline: " + ", ".join(regressed))
+compared = sum(1 for r in rows if r[3] is not None)
+if problems:
+    print(f"\nFAIL: {len(problems)} problem(s):")
+    for p in problems:
+        print(f"  - {p}")
     sys.exit(1)
-print(f"\nOK: all {len(rows)} benchmarks within {tolerance:.2f}x "
-      "of baseline")
+print(f"\nOK: {compared} benchmark(s) within {tolerance:.2f}x of "
+      f"baseline, alloc-free paths still alloc-free")
 EOF

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Run the sim-kernel microbenchmarks and emit a BENCH_sim.json events/sec
-# summary for the performance trajectory across PRs.
+# Run the sim-kernel microbenchmarks plus the end-to-end functional
+# benchmarks and emit a merged BENCH_sim.json summary for the
+# performance trajectory across PRs.
 #
 # Usage: tools/bench_json.sh [build-dir] [out-json]
 set -euo pipefail
@@ -9,22 +10,27 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 OUT="${2:-BENCH_sim.json}"
 
-if [[ ! -x "$BUILD/bench_micro_sim" ]]; then
-    echo "error: $BUILD/bench_micro_sim not built (run tools/smoke.sh first)" >&2
-    exit 1
-fi
+for bin in bench_micro_sim bench_functional; do
+    if [[ ! -x "$BUILD/$bin" ]]; then
+        echo "error: $BUILD/$bin not built (run tools/smoke.sh first)" >&2
+        exit 1
+    fi
+done
 
-RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+RAW_MICRO="$(mktemp)"
+RAW_FUNC="$(mktemp)"
+trap 'rm -f "$RAW_MICRO" "$RAW_FUNC"' EXIT
 "$BUILD/bench_micro_sim" --benchmark_format=json --benchmark_min_time=0.5 \
-    >"$RAW" 2>/dev/null
+    >"$RAW_MICRO" 2>/dev/null
+"$BUILD/bench_functional" --benchmark_format=json --benchmark_min_time=0.5 \
+    >"$RAW_FUNC" 2>/dev/null
 
-python3 - "$RAW" "$OUT" <<'EOF'
+python3 - "$RAW_MICRO" "$RAW_FUNC" "$OUT" <<'EOF'
 import json
 import sys
 
-raw = json.load(open(sys.argv[1]))
-ctx = raw.get("context", {})
+raws = [json.load(open(p)) for p in sys.argv[1:-1]]
+ctx = raws[0].get("context", {})
 out = {
     "context": {
         "date": ctx.get("date"),
@@ -34,14 +40,17 @@ out = {
     },
     "events_per_second": {},
 }
-for b in raw["benchmarks"]:
-    entry = {"items_per_second": b.get("items_per_second"),
-             "cpu_time_ns": b.get("cpu_time")}
-    for counter in ("allocs_per_event", "allocs_per_chunk",
-                    "allocs_per_tile"):
-        if counter in b:
-            entry[counter] = b[counter]
-    out["events_per_second"][b["name"]] = entry
-json.dump(out, open(sys.argv[2], "w"), indent=2)
-print(f"wrote {sys.argv[2]}")
+for raw in raws:
+    for b in raw["benchmarks"]:
+        entry = {"items_per_second": b.get("items_per_second"),
+                 "cpu_time_ns": b.get("cpu_time")}
+        if b.get("time_unit") == "ms":
+            entry["cpu_time_ns"] = b.get("cpu_time", 0) * 1e6
+        for counter in ("allocs_per_event", "allocs_per_chunk",
+                        "allocs_per_tile"):
+            if counter in b:
+                entry[counter] = b[counter]
+        out["events_per_second"][b["name"]] = entry
+json.dump(out, open(sys.argv[-1], "w"), indent=2)
+print(f"wrote {sys.argv[-1]}")
 EOF

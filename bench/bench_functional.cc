@@ -1,36 +1,50 @@
 /**
  * @file
- * End-to-end functional-mode benchmarks (google-benchmark).
+ * End-to-end functional-mode and payload-math benchmarks
+ * (google-benchmark).
  *
  * Separate binary from bench_micro_sim on purpose: linking the whole
  * machine/model/codegen stack into the micro-benchmark binary measurably
  * perturbs the tight sim-kernel loops (code layout / inlining), so the
  * kernel microbenches stay lean and the full-datapath numbers live here.
+ * The nonlinear-operator and host-memory benches live here for the same
+ * reason — measured on this machine, pulling fu/nonlinear and
+ * mem/hostmem into bench_micro_sim cost BM_StreamChunkTransfer ~15%.
  * tools/bench_json.sh runs both binaries and merges their results into
  * one BENCH_sim.json.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "core/machine.hh"
+#include "fu/nonlinear.hh"
+#include "fu/nonlinear_simd.hh"
 #include "lib/codegen.hh"
 #include "lib/model.hh"
 #include "lib/runner.hh"
+#include "mem/hostmem.hh"
 
 namespace {
 
 /**
  * Functional tiny-encoder end-to-end (B=2, S=64, H=128, FF=256): the
  * ROADMAP headline number for the functional data plane — every lever
- * (GEMM microkernel, gather-view assembly, zero-copy staging, stream
- * fast path, decoder uOP cache) lands here. One item == one full
- * simulated run carrying FP32 payloads; compile/init are excluded from
- * the timed region. The machine is reset between runs, mirroring the
- * BenchContext sweep pattern.
+ * (GEMM microkernel, vectorized nonlinear layer, hostmem block copies,
+ * gather-view assembly, zero-copy staging, stream fast path, decoder
+ * uOP cache) lands here. One item == one full simulated run carrying
+ * FP32 payloads; compile/init are excluded from the timed region. The
+ * machine is reset between runs, mirroring the BenchContext sweep
+ * pattern. @p mode picks the nonlinear kernels: the vectorized default
+ * (the headline) or the exact scalar reference (the A/B).
  */
 void
-BM_FunctionalTinyEncoder(benchmark::State &state)
+functionalTinyEncoder(benchmark::State &state, rsn::fu::NonlinearMode mode)
 {
+    rsn::fu::ScopedNonlinearMode nl(mode);
     auto model = rsn::lib::tinyEncoder(/*batch=*/2, /*seq=*/64,
                                        /*hidden=*/128, /*heads=*/4,
                                        /*ff=*/256, /*fuse_qkv=*/true);
@@ -52,8 +66,24 @@ BM_FunctionalTinyEncoder(benchmark::State &state)
         benchmark::DoNotOptimize(r.ticks);
     }
     state.SetItemsProcessed(state.iterations());
+    state.SetLabel(rsn::fu::nonlinearModeName());
+}
+
+void
+BM_FunctionalTinyEncoder(benchmark::State &state)
+{
+    functionalTinyEncoder(state, rsn::fu::NonlinearMode::Simd);
 }
 BENCHMARK(BM_FunctionalTinyEncoder)->Unit(benchmark::kMillisecond);
+
+/** Same workload on the exact scalar nonlinear kernels (libm erf/exp):
+ *  the accuracy-reference configuration the golden tier validates. */
+void
+BM_FunctionalTinyEncoderExact(benchmark::State &state)
+{
+    functionalTinyEncoder(state, rsn::fu::NonlinearMode::Exact);
+}
+BENCHMARK(BM_FunctionalTinyEncoderExact)->Unit(benchmark::kMillisecond);
 
 /** Same workload timing-only: the sim-overhead floor under the number
  *  above (the gap between the two is pure functional-payload cost). */
@@ -80,6 +110,114 @@ BM_TimingOnlyTinyEncoder(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TimingOnlyTinyEncoder)->Unit(benchmark::kMillisecond);
+
+/** Deterministic logit-scale inputs for the nonlinear benches. The
+ *  tile is re-seeded from the source every iteration (memcpy, dwarfed
+ *  by the operator) — repeated in-place application would drive values
+ *  into denormal territory and measure microcode assists, not the
+ *  kernel. */
+std::vector<float>
+nonlinearInput(std::size_t n)
+{
+    std::vector<float> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = float(i % 37) * 0.25f - 4.0f;
+    return v;
+}
+
+/** Row-wise softmax through the vectorized nonlinear layer (the MemC
+ *  dispatch default). One item == one element; rows are 64 wide tiles
+ *  of Arg(0) columns, the datapath's attention-score shapes. */
+void
+BM_NonlinearSoftmax(benchmark::State &state)
+{
+    const std::uint32_t rows = 64;
+    const auto cols = static_cast<std::uint32_t>(state.range(0));
+    const auto src = nonlinearInput(std::size_t(rows) * cols);
+    auto tile = src;
+    for (auto _ : state) {
+        std::copy(src.begin(), src.end(), tile.begin());
+        rsn::fu::softmaxRowsSimd(tile.data(), rows, cols);
+        benchmark::DoNotOptimize(tile.data());
+    }
+    state.SetItemsProcessed(state.iterations() * rows * cols);
+    state.SetLabel(rsn::fu::nonlinearSimdKernelName());
+}
+BENCHMARK(BM_NonlinearSoftmax)->Arg(64)->Arg(512);
+
+/** Same shape through the exact scalar softmax (libm exp) — the A/B
+ *  for the vectorized layer's headline win. */
+void
+BM_NonlinearSoftmaxExact(benchmark::State &state)
+{
+    const std::uint32_t rows = 64;
+    const auto cols = static_cast<std::uint32_t>(state.range(0));
+    const auto src = nonlinearInput(std::size_t(rows) * cols);
+    auto tile = src;
+    for (auto _ : state) {
+        std::copy(src.begin(), src.end(), tile.begin());
+        rsn::fu::softmaxRows(tile.data(), rows, cols);
+        benchmark::DoNotOptimize(tile.data());
+    }
+    state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_NonlinearSoftmaxExact)->Arg(512);
+
+/** Element-wise GELU through the vectorized layer (tanh formula,
+ *  polynomial exp). */
+void
+BM_NonlinearGelu(benchmark::State &state)
+{
+    const auto src = nonlinearInput(state.range(0));
+    auto tile = src;
+    for (auto _ : state) {
+        std::copy(src.begin(), src.end(), tile.begin());
+        rsn::fu::geluInplaceSimd(tile.data(), tile.size());
+        benchmark::DoNotOptimize(tile.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+    state.SetLabel(rsn::fu::nonlinearSimdKernelName());
+}
+BENCHMARK(BM_NonlinearGelu)->Arg(32768);
+
+/** Exact scalar GELU (libm erf) on the same shape. */
+void
+BM_NonlinearGeluExact(benchmark::State &state)
+{
+    const auto src = nonlinearInput(state.range(0));
+    auto tile = src;
+    for (auto _ : state) {
+        std::copy(src.begin(), src.end(), tile.begin());
+        rsn::fu::geluInplace(tile.data(), tile.size());
+        benchmark::DoNotOptimize(tile.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NonlinearGeluExact)->Arg(32768);
+
+/** HostMemory block moves, dense (pitch == cols: one block memcpy) vs
+ *  strided (per-row memcpy) — the DDR/LPDDR load/store fast path. One
+ *  item == one element moved (read + write counted once each). */
+void
+BM_HostMemBlockRoundTrip(benchmark::State &state)
+{
+    const std::uint32_t rows = 64, cols = 128;
+    const bool strided = state.range(0) != 0;
+    const std::uint64_t pitch = strided ? cols + 64 : cols;
+    rsn::mem::HostMemory host(true);
+    const rsn::Addr base = host.alloc(std::uint64_t(rows) * pitch, "b");
+    std::vector<float> tile(std::size_t(rows) * cols, 1.5f);
+    for (auto _ : state) {
+        host.writeBlock(base, pitch, rows, cols, tile.data(),
+                        tile.size());
+        host.readBlockInto(base, pitch, rows, cols, tile.data());
+        benchmark::DoNotOptimize(tile.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 *
+                            std::uint64_t(rows) * cols);
+    state.SetLabel(strided ? "strided" : "dense");
+}
+BENCHMARK(BM_HostMemBlockRoundTrip)->Arg(0)->Arg(1);
 
 } // namespace
 

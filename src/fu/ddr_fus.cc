@@ -42,7 +42,9 @@ DdrFu::runKernel(const isa::Uop &uop)
             co_await chan_.access(req);
             sim::Chunk c;
             if (host_.functional()) {
-                // Load straight into a pooled tile: no vector, no copy.
+                // Load straight into a pooled tile: no vector, no
+                // intermediate copy — readBlockInto takes the strided
+                // memcpy fast path (one block copy when pitch == cols).
                 auto t = sim::TilePool::instance().acquire(
                     std::uint64_t(u.rows) * u.cols);
                 host_.readBlockInto(addr, u.pitch, u.rows, u.cols,

@@ -20,11 +20,12 @@
  *    FU reuses across reps/k_steps — steady state packs into the same
  *    two buffers forever, allocating nothing;
  *  - a **register-blocked inner kernel** computing an MR x NR output
- *    block with FMA accumulation. Three compiled-in variants behind one
- *    entry point: an explicit AVX2+FMA kernel (8x16, K unrolled 2-deep)
- *    and a NEON kernel (8x8) when the build enables RSN_SIMD and the
- *    target supports them, and a portable restrict-qualified form
- *    (2x16) the compiler auto-vectorizes otherwise;
+ *    block with FMA accumulation. Four compiled-in variants behind one
+ *    entry point: explicit AVX-512 (8x32) and AVX2+FMA (8x16, K
+ *    unrolled 2-deep) and NEON (8x8) kernels when the build enables
+ *    RSN_SIMD and the target supports them, and a portable
+ *    restrict-qualified form (2x16) the compiler auto-vectorizes
+ *    otherwise;
  *  - a **scalar reference kernel** (gemmRefAccumulate) kept as the
  *    semantic baseline: identical loop order to the pre-blocked MME, no
  *    reassociation. Tests pin the blocked/SIMD kernels against it over
@@ -52,7 +53,8 @@
 
 namespace rsn::fu {
 
-/** Compiled-in microkernel variant: "avx2-fma", "neon", or "portable". */
+/** Compiled-in microkernel variant: "avx512", "avx2-fma", "neon", or
+ *  "portable". */
 const char *gemmKernelName();
 
 /**

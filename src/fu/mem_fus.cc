@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "fu/nonlinear.hh"
+#include "fu/nonlinear_simd.hh"
 
 namespace rsn::fu {
 
@@ -259,6 +260,9 @@ MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
     // run segment by segment — copy-on-write per segment when a
     // producer still shares it (TileRef::ensureUnique), in place in the
     // steady state where this MemC solely owns the MME's output tiles.
+    // All of them go through the fu/nonlinear_simd.hh dispatch layer:
+    // the vectorized approximate kernels in the default mode, the exact
+    // scalar reference when NonlinearMode::Exact is selected.
 
     if (u.add_residual) {
         sim::Chunk res = co_await in(ddr_).recv();
@@ -269,8 +273,9 @@ MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
             forEachOwnedSegment(
                 buf, [&](float *p, std::uint32_t rows,
                          std::uint32_t row_off) {
-                    addInplace(p, rp + std::uint64_t(row_off) * buf.cols,
-                               std::uint64_t(rows) * buf.cols);
+                    addInplaceDispatch(
+                        p, rp + std::uint64_t(row_off) * buf.cols,
+                        std::uint64_t(rows) * buf.cols);
                 });
         }
         flops += elems * kResidualFlopsPerElem;
@@ -288,7 +293,7 @@ MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
         if (buf.hasData())
             forEachOwnedSegment(buf, [&](float *p, std::uint32_t rows,
                                          std::uint32_t) {
-                softmaxRows(p, rows, buf.cols);
+                softmaxRowsDispatch(p, rows, buf.cols);
             });
         flops += elems * kSoftmaxFlopsPerElem;
     }
@@ -296,7 +301,7 @@ MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
         if (buf.hasData())
             forEachOwnedSegment(buf, [&](float *p, std::uint32_t rows,
                                          std::uint32_t) {
-                geluInplace(p, std::uint64_t(rows) * buf.cols);
+                geluInplaceDispatch(p, std::uint64_t(rows) * buf.cols);
             });
         flops += elems * kGeluFlopsPerElem;
     }
@@ -304,19 +309,35 @@ MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
         if (buf.hasData())
             forEachOwnedSegment(buf, [&](float *p, std::uint32_t rows,
                                          std::uint32_t) {
-                layernormRows(p, rows, buf.cols);
+                layernormRowsDispatch(p, rows, buf.cols);
             });
         flops += elems * kLayernormFlopsPerElem;
     }
     if (u.scale_shift && buf.hasData() && params.hasData()) {
+        // scaleShiftRows' raw-pointer form has no size to check against
+        // (contract in fu/nonlinear.hh), so the zero-copy path validates
+        // the in-place LPDDR chunk here: gamma is row 0 and beta row 1
+        // of a 2 x cols block, and the adopted payload window must
+        // actually hold both rows before the pointers are formed.
         rsn_assert(params.cols >= buf.cols,
                    "%s gamma/beta block narrower than tile (%u < %u)",
                    name().c_str(), params.cols, buf.cols);
+        rsn_assert(params.rows >= 2,
+                   "%s gamma/beta block needs 2 rows, got %u",
+                   name().c_str(), params.rows);
+        rsn_assert(params.data.capacity() >=
+                       2 * std::uint64_t(params.cols),
+                   "%s gamma/beta payload window too short: %llu < %llu",
+                   name().c_str(),
+                   static_cast<unsigned long long>(
+                       params.data.capacity()),
+                   static_cast<unsigned long long>(
+                       2 * std::uint64_t(params.cols)));
         const float *gamma = params.data.data();
         forEachOwnedSegment(buf, [&](float *p, std::uint32_t rows,
                                      std::uint32_t) {
-            scaleShiftRows(p, rows, buf.cols, gamma,
-                           gamma + params.cols);
+            scaleShiftRowsDispatch(p, rows, buf.cols, gamma,
+                                   gamma + params.cols);
         });
     }
 

@@ -3,12 +3,17 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "fu/nonlinear_simd.hh"
 
 namespace rsn::fu {
 
 void
 softmaxRows(float *tile, std::uint32_t rows, std::uint32_t cols)
 {
+    // Degenerate shapes are no-ops — without the cols guard the max
+    // seed below would read row[0] of a zero-width row.
+    if (rows == 0 || cols == 0)
+        return;
     for (std::uint32_t r = 0; r < rows; ++r) {
         float *row = tile + std::size_t(r) * cols;
         float mx = row[0];
@@ -51,20 +56,33 @@ geluInplace(std::vector<float> &tile)
 void
 layernormRows(float *tile, std::uint32_t rows, std::uint32_t cols)
 {
+    if (rows == 0 || cols == 0)
+        return;
     constexpr float eps = 1e-5f;
     for (std::uint32_t r = 0; r < rows; ++r) {
         float *row = tile + std::size_t(r) * cols;
-        // Single-pass mean/variance (streaming-friendly form).
-        double sum = 0, sumsq = 0;
-        for (std::uint32_t c = 0; c < cols; ++c) {
-            sum += row[c];
-            sumsq += double(row[c]) * row[c];
-        }
-        double mean = sum / cols;
-        double var = sumsq / cols - mean * mean;
-        float inv_std = 1.0f / std::sqrt(float(var) + eps);
+        // Two-pass mean/variance. The old single-pass E[x^2] - E[x]^2
+        // form cancels catastrophically for rows with a large common
+        // mean (both terms grow like mean^2 while their difference stays
+        // O(spread^2)) and can even go negative; summing (x - mean)^2
+        // about the computed mean is immune to that.
+        double sum = 0;
         for (std::uint32_t c = 0; c < cols; ++c)
-            row[c] = (row[c] - float(mean)) * inv_std;
+            sum += row[c];
+        const double mean = sum / cols;
+        double acc = 0;
+        for (std::uint32_t c = 0; c < cols; ++c) {
+            const double d = row[c] - mean;
+            acc += d * d;
+        }
+        const double var = acc / cols;
+        // Normalize in double: rounding the mean to float first would
+        // shift large-mean rows by up to half a float ulp of the mean
+        // (~5e-4 at 1e4), which is exactly the precision this bugfix
+        // is about.
+        const double inv_std = 1.0 / std::sqrt(var + double(eps));
+        for (std::uint32_t c = 0; c < cols; ++c)
+            row[c] = float((row[c] - mean) * inv_std);
     }
 }
 
@@ -116,6 +134,26 @@ addInplace(std::vector<float> &tile, const float *other, std::size_t n)
 {
     rsn_assert(tile.size() == n, "residual shape mismatch");
     addInplace(tile.data(), other, n);
+}
+
+// The affine *Dispatch entry points (fu/nonlinear_simd.hh) are defined
+// here, in the baseline-ISA translation unit, on purpose: they are
+// mode-independent — scale-shift and residual add have no approximate
+// variant — and compiling them next to the kernels keeps their codegen
+// (and thus their results) identical to a direct call no matter which
+// ISA flags the SIMD TU was built with.
+
+void
+scaleShiftRowsDispatch(float *tile, std::uint32_t rows, std::uint32_t cols,
+                       const float *gamma, const float *beta)
+{
+    scaleShiftRows(tile, rows, cols, gamma, beta);
+}
+
+void
+addInplaceDispatch(float *tile, const float *other, std::size_t n)
+{
+    addInplace(tile, other, n);
 }
 
 } // namespace rsn::fu

@@ -10,6 +10,12 @@
  * in place to a pooled staging tile (sim/tile_pool.hh) with no vector
  * scratch. The std::vector overloads are convenience wrappers for tests
  * and reference checks.
+ *
+ * These are the **exact** kernels (libm erf/exp, double-precision
+ * LayerNorm accumulation) and the semantic reference for the vectorized
+ * approximate layer in fu/nonlinear_simd.hh, which MemC dispatches
+ * through at runtime. Degenerate shapes (rows == 0 or cols == 0) are
+ * no-ops for every row-wise operator.
  */
 
 #ifndef RSN_FU_NONLINEAR_HH
@@ -39,8 +45,18 @@ void layernormRows(float *tile, std::uint32_t rows, std::uint32_t cols);
 void layernormRows(std::vector<float> &tile, std::uint32_t rows,
                    std::uint32_t cols);
 
-/** Apply gamma/beta per column: tile[r][c] = tile[r][c]*gamma[c]+beta[c].
- *  @p gamma / @p beta point at >= cols values each. */
+/**
+ * Apply gamma/beta per column: tile[r][c] = tile[r][c]*gamma[c]+beta[c].
+ *
+ * **Precondition (raw-pointer form):** @p gamma and @p beta must each
+ * point at >= @p cols readable floats; the first @p cols of each are
+ * used. The function itself cannot check this — unlike the vector
+ * overload there is no size to assert against — so every caller owns
+ * the contract. The zero-copy MemC path reads both in place from the
+ * 2 x cols LPDDR parameter chunk (gamma = row 0, beta = row 1) and
+ * asserts the chunk's shape and payload length at the call site
+ * (fu/mem_fus.cc) before forming the pointers.
+ */
 void scaleShiftRows(float *tile, std::uint32_t rows, std::uint32_t cols,
                     const float *gamma, const float *beta);
 void scaleShiftRows(std::vector<float> &tile, std::uint32_t rows,

@@ -1,0 +1,564 @@
+#include "fu/nonlinear_simd.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hh"
+#include "fu/nonlinear.hh"
+
+#if defined(RSN_SIMD) && defined(__AVX512F__)
+#include <immintrin.h>
+#define RSN_NL_AVX512 1
+#define RSN_NL_VECTOR 1
+#elif defined(RSN_SIMD) && defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#define RSN_NL_AVX2 1
+#define RSN_NL_VECTOR 1
+#elif defined(RSN_SIMD) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#define RSN_NL_NEON 1
+#define RSN_NL_VECTOR 1
+#endif
+
+namespace rsn::fu {
+
+namespace {
+
+// ------------------------------------------------------ scalar approx --
+//
+// The scalar forms of the approximations, used three ways: as the
+// vector kernels' row tails (cols % W), as the whole portable build,
+// and as the single source of truth for the constants. Branch-free on
+// purpose — the portable loops below auto-vectorize.
+
+/** Clamp bounds: exp(kExpLo) flushes toward 0 without denormal scaling
+ *  (n >= -126); exp(kExpHi) = 1.67e38 stays finite (n <= 127). */
+constexpr float kExpLo = -87.33654f;
+constexpr float kExpHi = 88.02f;
+
+/** log2(e) and the two-part ln2 split (Cephes). */
+constexpr float kLog2e = 1.44269504089f;
+constexpr float kLn2Hi = 0.693359375f;
+constexpr float kLn2Lo = -2.12194440e-4f;
+
+/** Degree-5 polynomial for exp(r) - 1 - r on |r| <= ln2/2 (Cephes). */
+constexpr float kExpP0 = 1.9875691500e-4f;
+constexpr float kExpP1 = 1.3981999507e-3f;
+constexpr float kExpP2 = 8.3334519073e-3f;
+constexpr float kExpP3 = 4.1665795894e-2f;
+constexpr float kExpP4 = 1.6666665459e-1f;
+constexpr float kExpP5 = 5.0000001201e-1f;
+
+/** Magic constant: adding/subtracting 1.5 * 2^23 rounds |z| < 2^22 to
+ *  the nearest integer (ties to even) without a branch or libm call. */
+constexpr float kRoundMagic = 12582912.0f;
+
+/** tanh-GELU argument: 2 * sqrt(2/pi) * (x + 0.044715 x^3)
+ *  = x * (kGelu0 + kGelu1 * x^2). */
+constexpr float kGelu0 = 1.5957691216057308f;
+constexpr float kGelu1 = 0.07135481627613502f;
+
+/** Polynomial exp core for a pre-clamped argument (see approxExpf).
+ *  Kept clamp-free on purpose: GCC jump-threads a clamp fused with the
+ *  polynomial into real branches (the clamped result is a constant it
+ *  can fold), and "control flow in loop" kills auto-vectorization of
+ *  the portable paths — so the clamp always runs as its own pass. */
+inline float
+approxExpNoClampf(float x)
+{
+    const float z = x * kLog2e;
+    const float nf = (z + kRoundMagic) - kRoundMagic;  // round(z)
+    const float r = (x - nf * kLn2Hi) - nf * kLn2Lo;
+    float p = kExpP0;
+    p = p * r + kExpP1;
+    p = p * r + kExpP2;
+    p = p * r + kExpP3;
+    p = p * r + kExpP4;
+    p = p * r + kExpP5;
+    const float y = p * (r * r) + r + 1.0f;
+    const auto n = static_cast<std::int32_t>(nf);
+    return y * std::bit_cast<float>((n + 127) << 23);
+}
+
+/** Polynomial exp, relative error ~2e-7 over the clamped domain. */
+inline float
+approxExpf(float x)
+{
+    return approxExpNoClampf(std::min(std::max(x, kExpLo), kExpHi));
+}
+
+/** tanh-based GELU: x * sigmoid(2 sqrt(2/pi) (x + 0.044715 x^3)). */
+inline float
+approxGeluf(float x)
+{
+    const float t2 = x * (kGelu0 + kGelu1 * x * x);
+    const float e = approxExpf(t2);
+    return x * (e / (e + 1.0f));
+}
+
+#if RSN_NL_AVX512
+
+constexpr std::uint32_t kW = 16;
+using vf = __m512;
+
+inline vf vload(const float *p) { return _mm512_loadu_ps(p); }
+inline void vstore(float *p, vf v) { _mm512_storeu_ps(p, v); }
+inline vf vset1(float x) { return _mm512_set1_ps(x); }
+inline vf vadd(vf a, vf b) { return _mm512_add_ps(a, b); }
+inline vf vsub(vf a, vf b) { return _mm512_sub_ps(a, b); }
+inline vf vmul(vf a, vf b) { return _mm512_mul_ps(a, b); }
+inline vf vdiv(vf a, vf b) { return _mm512_div_ps(a, b); }
+inline vf vmax(vf a, vf b) { return _mm512_max_ps(a, b); }
+inline vf vfma(vf a, vf b, vf c) { return _mm512_fmadd_ps(a, b, c); }
+inline float vhadd(vf v) { return _mm512_reduce_add_ps(v); }
+inline float vhmax(vf v) { return _mm512_reduce_max_ps(v); }
+
+inline vf
+vexp(vf x)
+{
+    x = _mm512_min_ps(_mm512_max_ps(x, vset1(kExpLo)), vset1(kExpHi));
+    const vf z = vmul(x, vset1(kLog2e));
+    const __m512i n = _mm512_cvtps_epi32(z);  // round-to-nearest-even
+    const vf nf = _mm512_cvtepi32_ps(n);
+    vf r = vfma(nf, vset1(-kLn2Hi), x);
+    r = vfma(nf, vset1(-kLn2Lo), r);
+    vf p = vset1(kExpP0);
+    p = vfma(p, r, vset1(kExpP1));
+    p = vfma(p, r, vset1(kExpP2));
+    p = vfma(p, r, vset1(kExpP3));
+    p = vfma(p, r, vset1(kExpP4));
+    p = vfma(p, r, vset1(kExpP5));
+    const vf y = vadd(vfma(p, vmul(r, r), r), vset1(1.0f));
+    const __m512i e =
+        _mm512_slli_epi32(_mm512_add_epi32(n, _mm512_set1_epi32(127)), 23);
+    return vmul(y, _mm512_castsi512_ps(e));
+}
+
+#elif RSN_NL_AVX2
+
+constexpr std::uint32_t kW = 8;
+using vf = __m256;
+
+inline vf vload(const float *p) { return _mm256_loadu_ps(p); }
+inline void vstore(float *p, vf v) { _mm256_storeu_ps(p, v); }
+inline vf vset1(float x) { return _mm256_set1_ps(x); }
+inline vf vadd(vf a, vf b) { return _mm256_add_ps(a, b); }
+inline vf vsub(vf a, vf b) { return _mm256_sub_ps(a, b); }
+inline vf vmul(vf a, vf b) { return _mm256_mul_ps(a, b); }
+inline vf vdiv(vf a, vf b) { return _mm256_div_ps(a, b); }
+inline vf vmax(vf a, vf b) { return _mm256_max_ps(a, b); }
+inline vf vfma(vf a, vf b, vf c) { return _mm256_fmadd_ps(a, b, c); }
+
+inline float
+vhadd(vf v)
+{
+    __m128 lo = _mm256_castps256_ps128(v);
+    __m128 hi = _mm256_extractf128_ps(v, 1);
+    lo = _mm_add_ps(lo, hi);
+    lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+    lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+    return _mm_cvtss_f32(lo);
+}
+
+inline float
+vhmax(vf v)
+{
+    __m128 lo = _mm256_castps256_ps128(v);
+    __m128 hi = _mm256_extractf128_ps(v, 1);
+    lo = _mm_max_ps(lo, hi);
+    lo = _mm_max_ps(lo, _mm_movehl_ps(lo, lo));
+    lo = _mm_max_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+    return _mm_cvtss_f32(lo);
+}
+
+inline vf
+vexp(vf x)
+{
+    x = _mm256_min_ps(_mm256_max_ps(x, vset1(kExpLo)), vset1(kExpHi));
+    const vf z = vmul(x, vset1(kLog2e));
+    const __m256i n = _mm256_cvtps_epi32(z);  // round-to-nearest-even
+    const vf nf = _mm256_cvtepi32_ps(n);
+    vf r = vfma(nf, vset1(-kLn2Hi), x);
+    r = vfma(nf, vset1(-kLn2Lo), r);
+    vf p = vset1(kExpP0);
+    p = vfma(p, r, vset1(kExpP1));
+    p = vfma(p, r, vset1(kExpP2));
+    p = vfma(p, r, vset1(kExpP3));
+    p = vfma(p, r, vset1(kExpP4));
+    p = vfma(p, r, vset1(kExpP5));
+    const vf y = vadd(vfma(p, vmul(r, r), r), vset1(1.0f));
+    const __m256i e =
+        _mm256_slli_epi32(_mm256_add_epi32(n, _mm256_set1_epi32(127)), 23);
+    return vmul(y, _mm256_castsi256_ps(e));
+}
+
+#elif RSN_NL_NEON
+
+constexpr std::uint32_t kW = 4;
+using vf = float32x4_t;
+
+inline vf vload(const float *p) { return vld1q_f32(p); }
+inline void vstore(float *p, vf v) { vst1q_f32(p, v); }
+inline vf vset1(float x) { return vdupq_n_f32(x); }
+inline vf vadd(vf a, vf b) { return vaddq_f32(a, b); }
+inline vf vsub(vf a, vf b) { return vsubq_f32(a, b); }
+inline vf vmul(vf a, vf b) { return vmulq_f32(a, b); }
+inline vf vdiv(vf a, vf b) { return vdivq_f32(a, b); }
+inline vf vmax(vf a, vf b) { return vmaxq_f32(a, b); }
+inline vf vfma(vf a, vf b, vf c) { return vfmaq_f32(c, a, b); }
+inline float vhadd(vf v) { return vaddvq_f32(v); }
+inline float vhmax(vf v) { return vmaxvq_f32(v); }
+
+inline vf
+vexp(vf x)
+{
+    x = vminq_f32(vmaxq_f32(x, vset1(kExpLo)), vset1(kExpHi));
+    const vf z = vmul(x, vset1(kLog2e));
+    const int32x4_t n = vcvtnq_s32_f32(z);  // round-to-nearest-even
+    const vf nf = vcvtq_f32_s32(n);
+    vf r = vfma(nf, vset1(-kLn2Hi), x);
+    r = vfma(nf, vset1(-kLn2Lo), r);
+    vf p = vset1(kExpP0);
+    p = vfma(p, r, vset1(kExpP1));
+    p = vfma(p, r, vset1(kExpP2));
+    p = vfma(p, r, vset1(kExpP3));
+    p = vfma(p, r, vset1(kExpP4));
+    p = vfma(p, r, vset1(kExpP5));
+    const vf y = vadd(vfma(p, vmul(r, r), r), vset1(1.0f));
+    const int32x4_t e = vshlq_n_s32(vaddq_s32(n, vdupq_n_s32(127)), 23);
+    return vmul(y, vreinterpretq_f32_s32(e));
+}
+
+#endif
+
+#if RSN_NL_VECTOR
+
+/** GELU on one register: x * e / (e + 1) with e = exp(2t(x)). */
+inline vf
+vgelu(vf x)
+{
+    const vf t2 = vmul(x, vfma(vmul(x, x), vset1(kGelu1), vset1(kGelu0)));
+    const vf e = vexp(t2);
+    return vmul(x, vdiv(e, vadd(e, vset1(1.0f))));
+}
+
+#endif
+
+// ---------------------------------------------------- portable lanes --
+
+#if !RSN_NL_VECTOR
+
+/** Manual lane count for the portable reductions: accumulating into a
+ *  small fixed array gives the compiler a reassociation-free pattern it
+ *  can vectorize without -ffast-math. */
+constexpr std::uint32_t kLanes = 8;
+
+inline float
+laneSum(const float *row, std::uint32_t n)
+{
+    float acc[kLanes] = {};
+    std::uint32_t i = 0;
+    for (; i + kLanes <= n; i += kLanes)
+        for (std::uint32_t l = 0; l < kLanes; ++l)
+            acc[l] += row[i + l];
+    float s = 0.f;
+    for (std::uint32_t l = 0; l < kLanes; ++l)
+        s += acc[l];
+    for (; i < n; ++i)
+        s += row[i];
+    return s;
+}
+
+/** Portable exp over a whole buffer: clamp pass then polynomial pass,
+ *  both auto-vectorizable (see approxExpNoClampf on why they must stay
+ *  separate loops). */
+inline void
+expBuffer(float *__restrict buf, std::uint32_t n)
+{
+    for (std::uint32_t i = 0; i < n; ++i)
+        buf[i] = std::min(std::max(buf[i], kExpLo), kExpHi);
+    for (std::uint32_t i = 0; i < n; ++i)
+        buf[i] = approxExpNoClampf(buf[i]);
+}
+
+#endif
+
+} // namespace
+
+// -------------------------------------------------- vectorized kernels --
+
+void
+softmaxRowsSimd(float *tile, std::uint32_t rows, std::uint32_t cols)
+{
+    if (rows == 0 || cols == 0)
+        return;
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        float *row = tile + std::size_t(r) * cols;
+#if RSN_NL_VECTOR
+        // Pass 1: row max.
+        float mx;
+        std::uint32_t i;
+        if (cols >= kW) {
+            vf vm = vload(row);
+            for (i = kW; i + kW <= cols; i += kW)
+                vm = vmax(vm, vload(row + i));
+            mx = vhmax(vm);
+        } else {
+            mx = row[0];
+            i = 1;
+        }
+        for (; i < cols; ++i)
+            mx = std::max(mx, row[i]);
+        // Pass 2: exp and sum.
+        const vf vmx = vset1(mx);
+        vf vs = vset1(0.f);
+        for (i = 0; i + kW <= cols; i += kW) {
+            const vf e = vexp(vsub(vload(row + i), vmx));
+            vstore(row + i, e);
+            vs = vadd(vs, e);
+        }
+        float sum = vhadd(vs);
+        for (; i < cols; ++i) {
+            const float e = approxExpf(row[i] - mx);
+            row[i] = e;
+            sum += e;
+        }
+        // Pass 3: scale.
+        const vf vi = vset1(1.0f / sum);
+        for (i = 0; i + kW <= cols; i += kW)
+            vstore(row + i, vmul(vload(row + i), vi));
+        const float inv = 1.0f / sum;
+        for (; i < cols; ++i)
+            row[i] *= inv;
+#else
+        float mx = row[0];
+        for (std::uint32_t c = 1; c < cols; ++c)
+            mx = std::max(mx, row[c]);
+        // Shift in place, exp (clamp + polynomial passes), lane-sum,
+        // scale — each loop stays auto-vectorizable on its own.
+        for (std::uint32_t c = 0; c < cols; ++c)
+            row[c] -= mx;
+        expBuffer(row, cols);
+        const float inv = 1.0f / laneSum(row, cols);
+        for (std::uint32_t c = 0; c < cols; ++c)
+            row[c] *= inv;
+#endif
+    }
+}
+
+void
+geluInplaceSimd(float *tile, std::size_t n)
+{
+#if RSN_NL_VECTOR
+    std::size_t i = 0;
+    for (; i + kW <= n; i += kW)
+        vstore(tile + i, vgelu(vload(tile + i)));
+    for (; i < n; ++i)
+        tile[i] = approxGeluf(tile[i]);
+#else
+    // Blocked so every piece auto-vectorizes: the tanh argument and
+    // the final combine keep the original x in the tile while the
+    // block scratch t carries 2t -> clamp -> exp.
+    constexpr std::size_t kB = 16;
+    std::size_t i = 0;
+    for (; i + kB <= n; i += kB) {
+        float t[kB];
+        float *__restrict x = tile + i;
+        for (std::size_t j = 0; j < kB; ++j)
+            t[j] = x[j] * (kGelu0 + kGelu1 * x[j] * x[j]);
+        for (std::size_t j = 0; j < kB; ++j)
+            t[j] = std::min(std::max(t[j], kExpLo), kExpHi);
+        for (std::size_t j = 0; j < kB; ++j)
+            t[j] = approxExpNoClampf(t[j]);
+        for (std::size_t j = 0; j < kB; ++j)
+            x[j] = x[j] * (t[j] / (t[j] + 1.0f));
+    }
+    for (; i < n; ++i)
+        tile[i] = approxGeluf(tile[i]);
+#endif
+}
+
+void
+layernormRowsSimd(float *tile, std::uint32_t rows, std::uint32_t cols)
+{
+    if (rows == 0 || cols == 0)
+        return;
+    constexpr float eps = 1e-5f;
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        float *row = tile + std::size_t(r) * cols;
+#if RSN_NL_VECTOR
+        // Pass 1: rough mean m0 in float lanes.
+        vf vs = vset1(0.f);
+        std::uint32_t i;
+        for (i = 0; i + kW <= cols; i += kW)
+            vs = vadd(vs, vload(row + i));
+        float s = vhadd(vs);
+        for (; i < cols; ++i)
+            s += row[i];
+        const float m0 = s / float(cols);
+        // Pass 2: centered sums. d = x - m0 is (nearly) exact — m0 sits
+        // inside the row's range, so the subtraction cancels the large
+        // common magnitude before any accumulation happens. The residual
+        // mean sum(d)/n then *corrects* m0, and the variance about m0
+        // collapses to the variance about the corrected mean.
+        const vf vm0 = vset1(m0);
+        vf vd = vset1(0.f), vd2 = vset1(0.f);
+        for (i = 0; i + kW <= cols; i += kW) {
+            const vf d = vsub(vload(row + i), vm0);
+            vd = vadd(vd, d);
+            vd2 = vfma(d, d, vd2);
+        }
+        float sd = vhadd(vd), sd2 = vhadd(vd2);
+        for (; i < cols; ++i) {
+            const float d = row[i] - m0;
+            sd += d;
+            sd2 += d * d;
+        }
+        const float c = sd / float(cols);
+        float var = sd2 / float(cols) - c * c;
+        var = std::max(var, 0.0f);
+        const float inv_std = 1.0f / std::sqrt(var + eps);
+        // Subtract m0 and the correction c in two steps: x - m0 is
+        // exact (Sterbenz), and c is O(spread), so no large-mean
+        // precision is lost — folding them into one float shift would
+        // round the mean to ~half an ulp of its magnitude.
+        const vf vm0b = vset1(m0);
+        const vf vc = vset1(c);
+        const vf vinv = vset1(inv_std);
+        for (i = 0; i + kW <= cols; i += kW)
+            vstore(row + i,
+                   vmul(vsub(vsub(vload(row + i), vm0b), vc), vinv));
+        for (; i < cols; ++i)
+            row[i] = ((row[i] - m0) - c) * inv_std;
+#else
+        const float m0 = laneSum(row, cols) / float(cols);
+        float lane_d[kLanes] = {}, lane_d2[kLanes] = {};
+        std::uint32_t i = 0;
+        for (; i + kLanes <= cols; i += kLanes) {
+            for (std::uint32_t l = 0; l < kLanes; ++l) {
+                const float d = row[i + l] - m0;
+                lane_d[l] += d;
+                lane_d2[l] += d * d;
+            }
+        }
+        float sd = 0.f, sd2 = 0.f;
+        for (std::uint32_t l = 0; l < kLanes; ++l) {
+            sd += lane_d[l];
+            sd2 += lane_d2[l];
+        }
+        for (; i < cols; ++i) {
+            const float d = row[i] - m0;
+            sd += d;
+            sd2 += d * d;
+        }
+        const float c = sd / float(cols);
+        float var = sd2 / float(cols) - c * c;
+        var = std::max(var, 0.0f);
+        const float inv_std = 1.0f / std::sqrt(var + eps);
+        // Two-step subtraction, same reasoning as the vector path.
+        for (std::uint32_t j = 0; j < cols; ++j)
+            row[j] = ((row[j] - m0) - c) * inv_std;
+#endif
+    }
+}
+
+// ------------------------------------------------------ mode dispatch --
+
+namespace {
+
+NonlinearMode
+initialMode()
+{
+    if (const char *e = std::getenv("RSN_NONLINEAR")) {
+        if (std::strcmp(e, "exact") == 0)
+            return NonlinearMode::Exact;
+        if (std::strcmp(e, "simd") != 0)
+            rsn_warn("unknown RSN_NONLINEAR value '%s' (want "
+                     "\"exact\" or \"simd\"), using simd",
+                     e);
+    }
+    return NonlinearMode::Simd;
+}
+
+/** Process-wide mode. Functional runs are single-threaded (one engine
+ *  drives every FU), so a plain global is enough. */
+NonlinearMode &
+modeRef()
+{
+    static NonlinearMode m = initialMode();
+    return m;
+}
+
+} // namespace
+
+NonlinearMode
+nonlinearMode()
+{
+    return modeRef();
+}
+
+void
+setNonlinearMode(NonlinearMode m)
+{
+    modeRef() = m;
+}
+
+const char *
+nonlinearSimdKernelName()
+{
+#if RSN_NL_AVX512
+    return "avx512";
+#elif RSN_NL_AVX2
+    return "avx2-fma";
+#elif RSN_NL_NEON
+    return "neon";
+#else
+    return "portable";
+#endif
+}
+
+const char *
+nonlinearModeName()
+{
+    return nonlinearMode() == NonlinearMode::Exact
+               ? "exact"
+               : nonlinearSimdKernelName();
+}
+
+void
+softmaxRowsDispatch(float *tile, std::uint32_t rows, std::uint32_t cols)
+{
+    if (nonlinearMode() == NonlinearMode::Exact)
+        softmaxRows(tile, rows, cols);
+    else
+        softmaxRowsSimd(tile, rows, cols);
+}
+
+void
+geluInplaceDispatch(float *tile, std::size_t n)
+{
+    if (nonlinearMode() == NonlinearMode::Exact)
+        geluInplace(tile, n);
+    else
+        geluInplaceSimd(tile, n);
+}
+
+void
+layernormRowsDispatch(float *tile, std::uint32_t rows, std::uint32_t cols)
+{
+    if (nonlinearMode() == NonlinearMode::Exact)
+        layernormRows(tile, rows, cols);
+    else
+        layernormRowsSimd(tile, rows, cols);
+}
+
+// scaleShiftRowsDispatch / addInplaceDispatch live in nonlinear.cc:
+// they are mode-independent, and defining them in this TU would let
+// LTO re-inline the affine loops under this file's wider ISA flags
+// (FMA contraction), silently breaking their bit-identity across
+// modes.
+
+} // namespace rsn::fu

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Vectorized nonlinear operator layer for the MemC fused-operator path
+ * (ISSUE 5), sitting beside the exact scalar kernels in fu/nonlinear.hh.
+ *
+ * After the MME moved to the blocked SIMD microkernel (PR 4), MemC's
+ * fused operators — `std::erf` GELU and `std::exp` softmax above all —
+ * became the dominant cost of a functional run. This layer provides
+ * approximate, register-vectorized replacements:
+ *
+ *  - a **polynomial `exp`** (Cephes-style: round-to-nearest power-of-two
+ *    decomposition, degree-5 polynomial on the reduced argument,
+ *    exponent reassembled by integer bit arithmetic). Relative error
+ *    ~2e-7 over the clamped domain [-87.34, 88.02];
+ *  - a **tanh-based GELU**: 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715
+ *    x^3))), evaluated as x * sigmoid(2t) with one polynomial exp and
+ *    one divide. The *formula itself* deviates from the exact erf GELU
+ *    by at most ~4.8e-4 (at |x| ~ 2.7) — this is the same approximation
+ *    BERT-class models train with;
+ *  - a **fused row-wise softmax**: max, exp, sum, and scale run as
+ *    consecutive vector passes while the row is cache-resident, instead
+ *    of one libm call per element;
+ *  - a **shifted two-pass LayerNorm** (Welford-style): a rough vector
+ *    mean first, then sums of (x - m0) and (x - m0)^2 — exact-by-
+ *    Sterbenz deltas, so large-mean rows lose no precision — then one
+ *    normalize pass.
+ *
+ * Like the GEMM microkernel, the explicit AVX-512 / AVX2+FMA / NEON
+ * register kernels compile in behind the RSN_SIMD CMake option (scoped
+ * to this translation unit); every other build gets a portable
+ * auto-vectorizable form of the same algorithms. The exact scalar path
+ * (fu/nonlinear.hh) is never removed: it is the property-tested
+ * reference (tests/fu/test_nonlinear_simd.cc) and stays selectable at
+ * runtime — the golden end-to-end tier keeps running it.
+ *
+ * ## Runtime selection
+ *
+ * MemC dispatches through the *Dispatch entry points below, which
+ * consult a process-wide mode: NonlinearMode::Simd (the default) runs
+ * the vectorized kernels, NonlinearMode::Exact the scalar ones. The
+ * environment variable RSN_NONLINEAR=exact|simd picks the initial mode
+ * (driver runs, benches); tests pin it with ScopedNonlinearMode.
+ * Scale-shift and residual-add are element-wise affine ops that
+ * auto-vectorize as-is; they are **bit-identical in both modes** so a
+ * mode flip only ever moves softmax/GELU/LayerNorm results.
+ *
+ * ## Accuracy / tolerance policy (vs the exact scalar reference)
+ *
+ * | operator   | per-element tolerance `|a-b| <= atol + rtol*|b|`    |
+ * |------------|-----------------------------------------------------|
+ * | softmax    | atol 1e-5, rtol 1e-5 (poly-exp error, ~2e-7 rel)    |
+ * | GELU       | atol 1e-3, rtol 1e-3 (tanh formula, <= ~4.8e-4 abs) |
+ * | layernorm  | atol 1e-4, rtol 1e-4 (float lane accumulation)      |
+ * | scale-shift / residual | bit-identical                           |
+ *
+ * Simulated timing is payload-independent, so the mode never moves a
+ * tick: the golden tick counts are identical under every kernel
+ * variant and both modes (tests/lib/test_golden_e2e.cc). End-to-end
+ * functional outputs under Simd mode hold the golden tier's
+ * allclose(4e-3, 4e-3) against ref_math. Full policy in
+ * docs/datapath.md.
+ */
+
+#ifndef RSN_FU_NONLINEAR_SIMD_HH
+#define RSN_FU_NONLINEAR_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rsn::fu {
+
+/** Which nonlinear kernels the MemC dispatch runs. */
+enum class NonlinearMode {
+    Exact,  ///< fu/nonlinear.hh scalar kernels (libm erf/exp, double LN)
+    Simd,   ///< this layer's vectorized approximate kernels (default)
+};
+
+/** Current process-wide mode (initially from RSN_NONLINEAR, else Simd). */
+NonlinearMode nonlinearMode();
+
+/** Select the mode for subsequent *Dispatch calls. */
+void setNonlinearMode(NonlinearMode m);
+
+/** "exact", or the compiled-in SIMD variant name when mode is Simd. */
+const char *nonlinearModeName();
+
+/** Compiled-in vector variant: "avx512", "avx2-fma", "neon", or
+ *  "portable" (same RSN_SIMD/ISA selection as the GEMM microkernel). */
+const char *nonlinearSimdKernelName();
+
+/** RAII mode pin for tests/benches: restores the previous mode. */
+class ScopedNonlinearMode
+{
+  public:
+    explicit ScopedNonlinearMode(NonlinearMode m) : prev_(nonlinearMode())
+    {
+        setNonlinearMode(m);
+    }
+    ~ScopedNonlinearMode() { setNonlinearMode(prev_); }
+    ScopedNonlinearMode(const ScopedNonlinearMode &) = delete;
+    ScopedNonlinearMode &operator=(const ScopedNonlinearMode &) = delete;
+
+  private:
+    NonlinearMode prev_;
+};
+
+/** @{ Vectorized kernels (approximate; tolerance table above). Shapes
+ *  follow the scalar contracts in fu/nonlinear.hh, including the
+ *  degenerate-shape guards: rows == 0 or cols == 0 is a no-op. */
+void softmaxRowsSimd(float *tile, std::uint32_t rows, std::uint32_t cols);
+void geluInplaceSimd(float *tile, std::size_t n);
+void layernormRowsSimd(float *tile, std::uint32_t rows,
+                       std::uint32_t cols);
+/** @} */
+
+/** @{ Runtime-dispatched entry points (the MemC fused-operator path).
+ *  Same contracts — and the same raw-pointer preconditions — as the
+ *  scalar kernels in fu/nonlinear.hh. */
+void softmaxRowsDispatch(float *tile, std::uint32_t rows,
+                         std::uint32_t cols);
+void geluInplaceDispatch(float *tile, std::size_t n);
+void layernormRowsDispatch(float *tile, std::uint32_t rows,
+                           std::uint32_t cols);
+/** @p gamma / @p beta must point at >= cols readable floats each (see
+ *  scaleShiftRows in fu/nonlinear.hh). Bit-identical in both modes. */
+void scaleShiftRowsDispatch(float *tile, std::uint32_t rows,
+                            std::uint32_t cols, const float *gamma,
+                            const float *beta);
+/** @p other must point at >= n readable floats. Bit-identical in both
+ *  modes. */
+void addInplaceDispatch(float *tile, const float *other, std::size_t n);
+/** @} */
+
+} // namespace rsn::fu
+
+#endif // RSN_FU_NONLINEAR_SIMD_HH

@@ -1,6 +1,6 @@
 #include "mem/hostmem.hh"
 
-#include <algorithm>
+#include <cstring>
 
 #include "common/log.hh"
 
@@ -70,20 +70,30 @@ HostMemory::readBlockInto(Addr addr, std::uint64_t pitch_elems,
                           std::uint32_t rows, std::uint32_t cols,
                           float *dst) const
 {
-    if (!functional_)
+    if (!functional_ || rows == 0 || cols == 0)
         return;
     const Region *r = find(addr);
     rsn_assert(r, "read from unmapped address 0x%llx (%ux%u pitch %llu)",
                static_cast<unsigned long long>(addr), rows, cols,
                static_cast<unsigned long long>(pitch_elems));
-    std::uint64_t off = (addr - r->base) / sizeof(float);
-    for (std::uint32_t i = 0; i < rows; ++i) {
-        std::uint64_t src = off + std::uint64_t(i) * pitch_elems;
-        rsn_assert(src + cols <= r->elems, "read past region end in '%s'",
-                   r->name.c_str());
-        std::copy_n(r->data.begin() + src, cols,
-                    dst + std::uint64_t(i) * cols);
+    const std::uint64_t off = (addr - r->base) / sizeof(float);
+    // Bounds are validated once for the whole window (the furthest
+    // element is the last row's end), then rows move as raw memcpys:
+    // one per row, or a single block copy when the window is dense
+    // (pitch == cols). This is the DDR/LPDDR FUs' load fast path.
+    rsn_assert(off + std::uint64_t(rows - 1) * pitch_elems + cols <=
+                   r->elems,
+               "read past region end in '%s'", r->name.c_str());
+    const float *src = r->data.data() + off;
+    if (pitch_elems == cols) {
+        std::memcpy(dst, src,
+                    std::uint64_t(rows) * cols * sizeof(float));
+        return;
     }
+    for (std::uint32_t i = 0; i < rows; ++i)
+        std::memcpy(dst + std::uint64_t(i) * cols,
+                    src + std::uint64_t(i) * pitch_elems,
+                    std::uint64_t(cols) * sizeof(float));
 }
 
 void
@@ -99,20 +109,28 @@ HostMemory::writeBlock(Addr addr, std::uint64_t pitch_elems,
                        std::uint32_t rows, std::uint32_t cols,
                        const float *data, std::size_t n)
 {
-    if (!functional_)
+    if (!functional_ || rows == 0 || cols == 0)
         return;
     Region *r = find(addr);
     rsn_assert(r, "write to unmapped address");
     rsn_assert(n >= std::uint64_t(rows) * cols,
                "write payload too small");
-    std::uint64_t off = (addr - r->base) / sizeof(float);
-    for (std::uint32_t i = 0; i < rows; ++i) {
-        std::uint64_t dst = off + std::uint64_t(i) * pitch_elems;
-        rsn_assert(dst + cols <= r->elems, "write past region end in '%s'",
-                   r->name.c_str());
-        std::copy_n(data + std::uint64_t(i) * cols, cols,
-                    r->data.begin() + dst);
+    const std::uint64_t off = (addr - r->base) / sizeof(float);
+    // Mirror of readBlockInto: one bounds check for the window, then
+    // per-row memcpy, collapsed to a single block copy when dense.
+    rsn_assert(off + std::uint64_t(rows - 1) * pitch_elems + cols <=
+                   r->elems,
+               "write past region end in '%s'", r->name.c_str());
+    float *dst = r->data.data() + off;
+    if (pitch_elems == cols) {
+        std::memcpy(dst, data,
+                    std::uint64_t(rows) * cols * sizeof(float));
+        return;
     }
+    for (std::uint32_t i = 0; i < rows; ++i)
+        std::memcpy(dst + std::uint64_t(i) * pitch_elems,
+                    data + std::uint64_t(i) * cols,
+                    std::uint64_t(cols) * sizeof(float));
 }
 
 void

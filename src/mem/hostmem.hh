@@ -66,8 +66,15 @@ class HostMemory
 
     /**
      * Read a block straight into caller-owned storage of rows*cols
-     * floats (e.g. a pooled tile) — the allocation-free load path.
-     * No-op in timing-only mode.
+     * floats (e.g. a pooled tile) — the allocation-free load path used
+     * by the DDR/LPDDR FUs.
+     *
+     * **Fast-path contract:** the whole window must lie inside one
+     * region — bounds are asserted once against the furthest element,
+     * not per row — and rows then move as raw `memcpy`s: one per row
+     * for strided windows, a single block copy when the window is
+     * dense (`pitch_elems == cols`). Degenerate shapes (zero rows or
+     * cols) are no-ops. No-op in timing-only mode.
      */
     void readBlockInto(Addr addr, std::uint64_t pitch_elems,
                        std::uint32_t rows, std::uint32_t cols,
@@ -78,7 +85,9 @@ class HostMemory
                     std::uint32_t rows, std::uint32_t cols,
                     const std::vector<float> &data);
 
-    /** Write a block from caller-owned storage of at least @p n floats. */
+    /** Write a block from caller-owned storage of at least @p n floats.
+     *  Same fast-path contract as readBlockInto (per-row memcpy,
+     *  single block copy when `pitch_elems == cols`). */
     void writeBlock(Addr addr, std::uint64_t pitch_elems,
                     std::uint32_t rows, std::uint32_t cols,
                     const float *data, std::size_t n);

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "fu/mem_fus.hh"
+#include "fu/nonlinear_simd.hh"
 #include "ref/ref_math.hh"
 #include "fu_harness.hh"
 
@@ -260,6 +261,10 @@ TEST(MemCFu, RecvThenStoreSplitsIntoPieces)
 
 TEST(MemCFu, SoftmaxAppliedOnRecv)
 {
+    // Pin the exact kernels: this test validates the MemC *plumbing*
+    // against ref_math at tight tolerance; the vectorized kernels'
+    // accuracy has its own property suite (test_nonlinear_simd.cc).
+    fu::ScopedNonlinearMode exact(fu::NonlinearMode::Exact);
     MemCRig r;
     isa::MemCUop recv;
     recv.rows = 2;
@@ -289,6 +294,7 @@ TEST(MemCFu, SoftmaxAppliedOnRecv)
 
 TEST(MemCFu, ResidualAddAndLayerNormWithParams)
 {
+    fu::ScopedNonlinearMode exact(fu::NonlinearMode::Exact);
     MemCRig r;
     isa::MemCUop recv;
     recv.rows = 2;
@@ -329,6 +335,7 @@ TEST(MemCFu, ResidualAddAndLayerNormWithParams)
 
 TEST(MemCFu, GeluMatchesReference)
 {
+    fu::ScopedNonlinearMode exact(fu::NonlinearMode::Exact);
     MemCRig r;
     isa::MemCUop recv;
     recv.rows = 3;
@@ -349,6 +356,42 @@ TEST(MemCFu, GeluMatchesReference)
     ASSERT_TRUE(r.h.run());
     ref::Matrix gm(3, 3, got[0].data.data());
     EXPECT_TRUE(ref::allclose(gm, ref::gelu(x), 1e-5f, 1e-6f));
+}
+
+TEST(MemCFu, SimdKernelsRunPerGatherSegment)
+{
+    // The vectorized dispatch must run over every adopted gather
+    // segment exactly like the exact kernels do: assemble a tile from
+    // two chunks (two segments) and fuse softmax under Simd mode, then
+    // compare against ref_math at the documented softmax tolerance
+    // (fu/nonlinear_simd.hh).
+    fu::ScopedNonlinearMode simd(fu::NonlinearMode::Simd);
+    MemCRig r;
+    isa::MemCUop recv;
+    recv.rows = 4;
+    recv.cols = 16;
+    recv.recv = true;
+    recv.recv_chunks = 2;
+    recv.softmax = true;
+    isa::MemCUop send = recv;
+    send.recv = false;
+    send.softmax = false;
+    send.send_mme = true;
+    send.send_dest = kMeshA;
+    sim::Task prog = r.h.program(r.fu, {recv, send});
+    auto m = ref::randomMatrix(4, 16, 31, 4.0f);
+    std::vector<float> top(m.data.begin(), m.data.begin() + 2 * 16);
+    std::vector<float> bot(m.data.begin() + 2 * 16, m.data.end());
+    sim::Task feed = r.h.feedChunks(
+        r.from_mme, {sim::makeDataChunk(2, 16, top),
+                     sim::makeDataChunk(2, 16, bot)});
+    std::vector<sim::Chunk> got;
+    sim::Task col = r.h.collect(r.to_mesha, 1, got);
+    r.fu.start();
+    ASSERT_TRUE(r.h.run());
+    auto expect = ref::softmax(m);
+    ref::Matrix gm(4, 16, got[0].data.data());
+    EXPECT_TRUE(ref::allclose(gm, expect, 1e-5f, 1e-5f));
 }
 
 TEST(MemCFu, NonMmComputeTakesTime)

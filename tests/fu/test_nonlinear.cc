@@ -52,6 +52,20 @@ TEST(Softmax, UniformInputGivesUniformOutput)
         EXPECT_NEAR(v, 0.125f, 1e-6);
 }
 
+TEST(Softmax, DegenerateShapesAreNoOps)
+{
+    // Regression (ISSUE 5): softmaxRows used to seed the row max from
+    // row[0] before checking cols, reading out of bounds for
+    // zero-width rows. Degenerate shapes must be no-ops.
+    fu::softmaxRows(nullptr, 0, 8);
+    fu::softmaxRows(nullptr, 8, 0);
+    std::vector<float> sentinel = {3.f, 4.f};
+    fu::softmaxRows(sentinel.data(), 0, 2);
+    fu::softmaxRows(sentinel.data(), 2, 0);
+    EXPECT_FLOAT_EQ(sentinel[0], 3.f);
+    EXPECT_FLOAT_EQ(sentinel[1], 4.f);
+}
+
 TEST(Gelu, MatchesReference)
 {
     auto m = ref::randomMatrix(8, 8, 17, 3.0f);
@@ -115,6 +129,45 @@ TEST(Layernorm, ConstantRowDoesNotBlowUp)
     fu::layernormRows(tile, 1, 16);
     for (float v : tile)
         EXPECT_NEAR(v, 0.f, 1e-2);  // eps prevents divide-by-zero
+}
+
+TEST(Layernorm, LargeMeanRowsMatchReference)
+{
+    // Regression (ISSUE 5): the old single-pass E[x^2] - E[x]^2
+    // variance cancels catastrophically when the row mean dwarfs the
+    // spread — for mean ~1e6 rows it went negative/garbage. The
+    // two-pass form must agree with ref_math (itself two-pass) to
+    // normal tolerance, and large constant rows must normalize to
+    // exactly zero deviation.
+    std::uint32_t rows = 3, cols = 128;
+    std::vector<float> gamma(cols, 1.f), beta(cols, 0.f);
+    for (float mean : {1e4f, 1e6f}) {
+        ref::Matrix m(rows, cols);
+        std::uint32_t s = 1;
+        for (auto &x : m.data) {
+            s = s * 1664525u + 1013904223u;  // LCG noise in [-1, 1)
+            x = mean + (float(s >> 8) / float(1u << 23) - 1.0f);
+        }
+        auto tile = m.data;
+        fu::layernormRows(tile, rows, cols);
+        auto expect = ref::layernorm(m, gamma, beta);
+        for (std::size_t i = 0; i < tile.size(); ++i) {
+            ASSERT_TRUE(std::isfinite(tile[i])) << "mean " << mean;
+            ASSERT_NEAR(tile[i], expect.data[i], 1e-4)
+                << "mean " << mean << " elem " << i;
+        }
+    }
+    // All-constant large row: variance is exactly zero, outputs too.
+    std::vector<float> flat(64, 1e4f);
+    fu::layernormRows(flat, 1, 64);
+    for (float v : flat)
+        EXPECT_FLOAT_EQ(v, 0.f);
+}
+
+TEST(Layernorm, DegenerateShapesAreNoOps)
+{
+    fu::layernormRows(nullptr, 0, 8);
+    fu::layernormRows(nullptr, 8, 0);
 }
 
 TEST(AddInplace, ElementwiseSum)

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Property tests for the vectorized nonlinear operator layer (ISSUE 5),
+ * mirroring the GEMM microkernel suite (test_gemm_kernel.cc).
+ *
+ * Whatever variant is compiled in — AVX-512, AVX2+FMA, NEON, or the
+ * portable auto-vectorized form — every vectorized kernel is pinned
+ * against the exact scalar reference (fu/nonlinear.hh) over randomized
+ * shapes, including single-element rows and widths that are not
+ * multiples of any vector width, with the tolerances documented in
+ * fu/nonlinear_simd.hh:
+ *
+ *   softmax    |a-b| <= 1e-5 + 1e-5*|b|   (polynomial exp, ~2e-7 rel)
+ *   GELU       |a-b| <= 1e-3 + 1e-3*|b|   (tanh formula, <= ~4.8e-4)
+ *   layernorm  |a-b| <= 1e-4 + 1e-4*|b|   (float lane accumulation)
+ *   scale-shift / residual add             bit-identical across modes
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fu/nonlinear.hh"
+#include "fu/nonlinear_simd.hh"
+#include "ref/ref_math.hh"
+
+namespace {
+
+using namespace rsn;
+
+constexpr float kSoftmaxTol = 1e-5f;
+constexpr float kGeluTol = 1e-3f;
+constexpr float kLayernormTol = 1e-4f;
+
+std::vector<float>
+randomVec(std::size_t n, std::mt19937 &rng, float scale = 4.0f)
+{
+    std::uniform_real_distribution<float> dist(-scale, scale);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = dist(rng);
+    return v;
+}
+
+void
+expectClose(const std::vector<float> &simd, const std::vector<float> &ref,
+            float tol, const char *what, std::uint32_t rows,
+            std::uint32_t cols)
+{
+    ASSERT_EQ(simd.size(), ref.size());
+    for (std::size_t i = 0; i < simd.size(); ++i)
+        ASSERT_LE(std::abs(simd[i] - ref[i]),
+                  tol + tol * std::abs(ref[i]))
+            << what << " " << rows << "x" << cols << " elem " << i
+            << " (" << fu::nonlinearSimdKernelName()
+            << " kernel): " << simd[i] << " vs " << ref[i];
+}
+
+/** Shapes that hit every vector-width edge: 1-element rows, widths
+ *  around 4/8/16 (NEON/AVX2/AVX-512 lanes), and non-multiples. */
+const std::pair<std::uint32_t, std::uint32_t> kEdgeShapes[] = {
+    {1, 1},  {1, 2},   {3, 1},   {2, 3},   {1, 4},   {2, 5},
+    {1, 7},  {4, 8},   {3, 9},   {5, 15},  {2, 16},  {7, 17},
+    {1, 31}, {4, 33},  {8, 64},  {3, 100}, {6, 127}, {2, 129},
+    {1, 255}, {2, 257},
+};
+
+TEST(NonlinearSimd, ReportsACompiledVariant)
+{
+    const std::string name = fu::nonlinearSimdKernelName();
+    EXPECT_TRUE(name == "portable" || name == "avx2-fma" ||
+                name == "avx512" || name == "neon")
+        << name;
+}
+
+TEST(NonlinearSimd, SoftmaxMatchesExactOverRandomizedShapes)
+{
+    std::mt19937 rng(11);
+    for (auto [rows, cols] : kEdgeShapes) {
+        auto exact = randomVec(std::size_t(rows) * cols, rng);
+        auto simd = exact;
+        fu::softmaxRows(exact.data(), rows, cols);
+        fu::softmaxRowsSimd(simd.data(), rows, cols);
+        expectClose(simd, exact, kSoftmaxTol, "softmax", rows, cols);
+        // Rows still sum to one.
+        for (std::uint32_t r = 0; r < rows; ++r) {
+            double sum = 0;
+            for (std::uint32_t c = 0; c < cols; ++c)
+                sum += simd[std::size_t(r) * cols + c];
+            EXPECT_NEAR(sum, 1.0, 1e-5);
+        }
+    }
+}
+
+TEST(NonlinearSimd, SoftmaxStableForLargeLogits)
+{
+    // The polynomial exp clamps instead of overflowing/underflowing.
+    std::vector<float> tile = {500.f, 499.f, 0.f, -500.f};
+    fu::softmaxRowsSimd(tile.data(), 1, 4);
+    for (float v : tile) {
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_GE(v, 0.f);
+    }
+    EXPECT_GT(tile[0], tile[1]);
+    EXPECT_NEAR(tile[0] + tile[1] + tile[2] + tile[3], 1.0f, 1e-5);
+}
+
+TEST(NonlinearSimd, SoftmaxSingleColumnIsOne)
+{
+    std::vector<float> tile = {42.f, -3.f, 0.f};
+    fu::softmaxRowsSimd(tile.data(), 3, 1);
+    for (float v : tile)
+        EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(NonlinearSimd, GeluMatchesExactWithinFormulaTolerance)
+{
+    std::mt19937 rng(13);
+    for (auto [rows, cols] : kEdgeShapes) {
+        auto exact = randomVec(std::size_t(rows) * cols, rng, 6.0f);
+        auto simd = exact;
+        fu::geluInplace(exact.data(), exact.size());
+        fu::geluInplaceSimd(simd.data(), simd.size());
+        expectClose(simd, exact, kGeluTol, "gelu", rows, cols);
+    }
+}
+
+TEST(NonlinearSimd, GeluSaturatesLikeTheExactKernel)
+{
+    // Identity for large positive x, zero for large negative x — and
+    // finite everywhere (the exp clamp must not produce inf).
+    std::vector<float> tile = {10.f, -10.f, 50.f, -50.f, 1000.f, -1000.f};
+    fu::geluInplaceSimd(tile.data(), tile.size());
+    EXPECT_NEAR(tile[0], 10.f, 1e-4);
+    EXPECT_NEAR(tile[1], 0.f, 1e-4);
+    EXPECT_NEAR(tile[2], 50.f, 1e-4);
+    EXPECT_NEAR(tile[3], 0.f, 1e-4);
+    for (float v : tile)
+        EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(NonlinearSimd, LayernormMatchesExactOverRandomizedShapes)
+{
+    std::mt19937 rng(17);
+    for (auto [rows, cols] : kEdgeShapes) {
+        auto exact = randomVec(std::size_t(rows) * cols, rng, 7.0f);
+        auto simd = exact;
+        fu::layernormRows(exact.data(), rows, cols);
+        fu::layernormRowsSimd(simd.data(), rows, cols);
+        expectClose(simd, exact, kLayernormTol, "layernorm", rows, cols);
+    }
+}
+
+TEST(NonlinearSimd, LayernormSurvivesLargeMeanRows)
+{
+    // The shifted two-pass form must not cancel catastrophically when
+    // a row's common mean dwarfs its spread (the failure mode the
+    // scalar single-pass variance had).
+    std::mt19937 rng(19);
+    std::uniform_real_distribution<float> noise(-1.f, 1.f);
+    for (float mean : {1e4f, 1e6f}) {
+        const std::uint32_t rows = 4, cols = 200;
+        std::vector<float> tile(std::size_t(rows) * cols);
+        for (auto &x : tile)
+            x = mean + noise(rng);
+        auto exact = tile;
+        fu::layernormRows(exact.data(), rows, cols);
+        fu::layernormRowsSimd(tile.data(), rows, cols);
+        expectClose(tile, exact, kLayernormTol, "layernorm-large-mean",
+                    rows, cols);
+        for (float v : tile)
+            EXPECT_TRUE(std::isfinite(v));
+    }
+}
+
+TEST(NonlinearSimd, LayernormConstantRowIsZero)
+{
+    std::vector<float> tile(37, 2.5f);
+    fu::layernormRowsSimd(tile.data(), 1, 37);
+    for (float v : tile)
+        EXPECT_NEAR(v, 0.f, 1e-2);  // eps floor prevents divide-by-zero
+}
+
+TEST(NonlinearSimd, DegenerateShapesAreNoOps)
+{
+    // rows == 0 / cols == 0 must not touch (or read) anything — the
+    // same guards the scalar kernels gained (ISSUE 5 regression).
+    fu::softmaxRowsSimd(nullptr, 0, 16);
+    fu::softmaxRowsSimd(nullptr, 16, 0);
+    fu::layernormRowsSimd(nullptr, 0, 16);
+    fu::layernormRowsSimd(nullptr, 16, 0);
+    fu::geluInplaceSimd(nullptr, 0);
+    std::vector<float> sentinel = {1.f, 2.f};
+    fu::softmaxRowsSimd(sentinel.data(), 0, 2);
+    fu::layernormRowsSimd(sentinel.data(), 0, 2);
+    EXPECT_FLOAT_EQ(sentinel[0], 1.f);
+    EXPECT_FLOAT_EQ(sentinel[1], 2.f);
+}
+
+TEST(NonlinearSimd, DispatchFollowsTheRuntimeMode)
+{
+    std::mt19937 rng(23);
+    auto base = randomVec(64, rng);
+    auto want_exact = base, want_simd = base;
+    fu::geluInplace(want_exact.data(), want_exact.size());
+    fu::geluInplaceSimd(want_simd.data(), want_simd.size());
+
+    auto got = base;
+    {
+        fu::ScopedNonlinearMode m(fu::NonlinearMode::Exact);
+        EXPECT_STREQ(fu::nonlinearModeName(), "exact");
+        fu::geluInplaceDispatch(got.data(), got.size());
+        EXPECT_EQ(got, want_exact);
+    }
+    got = base;
+    {
+        fu::ScopedNonlinearMode m(fu::NonlinearMode::Simd);
+        EXPECT_STREQ(fu::nonlinearModeName(),
+                     fu::nonlinearSimdKernelName());
+        fu::geluInplaceDispatch(got.data(), got.size());
+        EXPECT_EQ(got, want_simd);
+    }
+}
+
+TEST(NonlinearSimd, ScopedModeRestoresThePreviousMode)
+{
+    const fu::NonlinearMode before = fu::nonlinearMode();
+    {
+        fu::ScopedNonlinearMode m(fu::NonlinearMode::Exact);
+        EXPECT_EQ(fu::nonlinearMode(), fu::NonlinearMode::Exact);
+        {
+            fu::ScopedNonlinearMode n(fu::NonlinearMode::Simd);
+            EXPECT_EQ(fu::nonlinearMode(), fu::NonlinearMode::Simd);
+        }
+        EXPECT_EQ(fu::nonlinearMode(), fu::NonlinearMode::Exact);
+    }
+    EXPECT_EQ(fu::nonlinearMode(), before);
+}
+
+TEST(NonlinearSimd, ScaleShiftAndResidualAreBitIdenticalAcrossModes)
+{
+    // The affine ops must never drift between modes: a mode flip may
+    // only move softmax/GELU/LayerNorm results (golden checksums rely
+    // on this).
+    std::mt19937 rng(29);
+    const std::uint32_t rows = 5, cols = 23;
+    auto base = randomVec(std::size_t(rows) * cols, rng);
+    auto gamma = randomVec(cols, rng), beta = randomVec(cols, rng);
+    auto other = randomVec(base.size(), rng);
+
+    for (auto mode : {fu::NonlinearMode::Exact, fu::NonlinearMode::Simd}) {
+        fu::ScopedNonlinearMode m(mode);
+        auto got = base;
+        fu::scaleShiftRowsDispatch(got.data(), rows, cols, gamma.data(),
+                                   beta.data());
+        auto want = base;
+        fu::scaleShiftRows(want.data(), rows, cols, gamma.data(),
+                           beta.data());
+        EXPECT_EQ(got, want);
+
+        got = base;
+        fu::addInplaceDispatch(got.data(), other.data(), got.size());
+        want = base;
+        fu::addInplace(want.data(), other.data(), want.size());
+        EXPECT_EQ(got, want);
+    }
+}
+
+TEST(NonlinearSimd, SoftmaxCrossChecksAgainstRefMath)
+{
+    // Independent reference (different loop structure than both fu
+    // kernels): the vectorized softmax must land on ref_math too.
+    auto m = ref::randomMatrix(16, 48, 41, 5.0f);
+    auto tile = m.data;
+    fu::softmaxRowsSimd(tile.data(), 16, 48);
+    auto expect = ref::softmax(m);
+    ref::Matrix got(16, 48, tile.data());
+    std::string why;
+    EXPECT_TRUE(ref::allclose(got, expect, kSoftmaxTol, kSoftmaxTol, &why))
+        << why;
+}
+
+} // namespace

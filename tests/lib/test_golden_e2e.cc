@@ -26,6 +26,7 @@
 #include <variant>
 
 #include "core/machine.hh"
+#include "fu/nonlinear_simd.hh"
 #include "lib/codegen.hh"
 #include "lib/model.hh"
 #include "lib/runner.hh"
@@ -85,6 +86,10 @@ TEST(GoldenTrace, BertLargeEncoderTickCountIsPinned)
 
 TEST(GoldenTrace, FunctionalOutputsMatchReferenceAndChecksum)
 {
+    // The golden numeric tier always runs the exact scalar nonlinear
+    // kernels — MemC's default vectorized dispatch is approximate and
+    // has its own golden test below at the documented tolerance.
+    fu::ScopedNonlinearMode exact(fu::NonlinearMode::Exact);
     core::RsnMachine mach(core::MachineConfig::vck190(/*functional=*/true));
     auto model = tinyModel();
     auto compiled = lib::compileModel(mach, model,
@@ -119,6 +124,39 @@ TEST(GoldenTrace, FunctionalOutputsMatchReferenceAndChecksum)
     EXPECT_NEAR(got_sum, ref_sum,
                 1e-3 * std::max(1.0, std::abs(ref_sum)));
     EXPECT_TRUE(std::isfinite(got_sum));
+}
+
+TEST(GoldenTrace, FunctionalOutputsUnderSimdNonlinearKernels)
+{
+    // Same golden run under the vectorized nonlinear dispatch (the
+    // production default): simulated time must be bit-identical — the
+    // kernel mode may never move a tick — and the functional outputs
+    // must stay within the end-to-end tolerance the approximation
+    // policy documents (fu/nonlinear_simd.hh, docs/datapath.md).
+    fu::ScopedNonlinearMode simd(fu::NonlinearMode::Simd);
+    core::RsnMachine mach(core::MachineConfig::vck190(/*functional=*/true));
+    auto model = tinyModel();
+    auto compiled = lib::compileModel(mach, model,
+                                      lib::ScheduleOptions::optimized());
+    lib::initTensors(mach, compiled, /*seed=*/123);
+    auto expected = lib::referenceForward(mach, model, compiled);
+    auto r = mach.run(compiled.program);
+    ASSERT_TRUE(r.completed) << r.diagnosis;
+    EXPECT_EQ(r.ticks, kTinyEncoderGoldenTicks)
+        << "nonlinear kernel mode changed simulated time";
+
+    std::size_t compared = 0;
+    for (const auto &[name, expect] : expected) {
+        if (name == "input" || !compiled.hasTensor(name))
+            continue;
+        auto got = lib::readTensor(mach, compiled, name);
+        std::string why;
+        EXPECT_TRUE(ref::allclose(got, expect, 4e-3f, 4e-3f, &why))
+            << name << " (" << fu::nonlinearModeName()
+            << " kernels): " << why;
+        ++compared;
+    }
+    EXPECT_GE(compared, 5u) << "golden comparison went vacuous";
 }
 
 TEST(GoldenTrace, FunctionalPayloadsDoNotPerturbTiming)

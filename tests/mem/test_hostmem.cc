@@ -77,6 +77,66 @@ TEST(HostMem, PitchedReadSkipsBetweenRows)
     EXPECT_EQ(col01, (std::vector<float>{0, 1, 8, 9, 16, 17, 24, 25}));
 }
 
+TEST(HostMem, StridedAndContiguousRoundTripsAgree)
+{
+    // The fast path (ISSUE 5): pitch == cols collapses to one block
+    // memcpy, strided windows to one memcpy per row. Both must move
+    // exactly the same elements as the old element-wise loops — write
+    // a strided window, read it back strided and embedded in full
+    // rows, and check the gap columns were never touched.
+    HostMemory m(true);
+    const std::uint32_t kRows = 6, kCols = 5, kPitch = 12;
+    Addr base = m.alloc(kRows * kPitch, "mat");
+    std::vector<float> backdrop(kRows * kPitch);
+    std::iota(backdrop.begin(), backdrop.end(), 100.f);
+    m.fillRegion(base, backdrop);
+
+    std::vector<float> block(kRows * kCols);
+    std::iota(block.begin(), block.end(), 0.f);
+    Addr at = base + 2 * sizeof(float);  // column offset 2
+    m.writeBlock(at, kPitch, kRows, kCols, block);
+
+    // Strided read-back returns the block exactly.
+    EXPECT_EQ(m.readBlock(at, kPitch, kRows, kCols), block);
+    // readBlockInto agrees with readBlock.
+    std::vector<float> into(kRows * kCols, -1.f);
+    m.readBlockInto(at, kPitch, kRows, kCols, into.data());
+    EXPECT_EQ(into, block);
+
+    // Gap columns kept their backdrop values.
+    auto whole = m.readRegion(base);
+    for (std::uint32_t r = 0; r < kRows; ++r)
+        for (std::uint32_t c = 0; c < kPitch; ++c) {
+            const std::size_t i = std::size_t(r) * kPitch + c;
+            if (c >= 2 && c < 2 + kCols)
+                EXPECT_FLOAT_EQ(whole[i], block[r * kCols + (c - 2)]);
+            else
+                EXPECT_FLOAT_EQ(whole[i], backdrop[i]) << r << "," << c;
+        }
+
+    // Dense round trip (pitch == cols): the single-block-memcpy path.
+    Addr dense = m.alloc(kRows * kCols, "dense");
+    m.writeBlock(dense, kCols, kRows, kCols, block);
+    EXPECT_EQ(m.readBlock(dense, kCols, kRows, kCols), block);
+}
+
+TEST(HostMem, ZeroSizedBlocksAreNoOps)
+{
+    // rows == 0 / cols == 0 must not compute a bounds window (the
+    // rows - 1 term would underflow) or touch memory.
+    HostMemory m(true);
+    Addr a = m.alloc(16, "z");
+    std::vector<float> vals(16, 7.f);
+    m.fillRegion(a, vals);
+    m.writeBlock(a, 4, 0, 4, nullptr, 0);
+    m.writeBlock(a, 4, 4, 0, nullptr, 0);
+    float sentinel = -1.f;
+    m.readBlockInto(a, 4, 0, 4, &sentinel);
+    m.readBlockInto(a, 4, 4, 0, &sentinel);
+    EXPECT_FLOAT_EQ(sentinel, -1.f);
+    EXPECT_EQ(m.readRegion(a), vals);
+}
+
 TEST(HostMem, AllocatedBytesAccumulates)
 {
     HostMemory m(false);

@@ -9,11 +9,14 @@
 #define RSN_CORE_CONFIG_HH
 
 #include <cstddef>
+#include <cstdint>
 
+#include "common/status.hh"
 #include "common/types.hh"
 #include "fu/aie_model.hh"
 #include "mem/dram.hh"
 #include "mem/layout.hh"
+#include "sim/fault.hh"
 
 namespace rsn::core {
 
@@ -74,9 +77,28 @@ struct MachineConfig {
     mem::LayoutKind offchip_layout = mem::LayoutKind::Blocked;
     bool functional = false;  ///< Carry FP32 payloads through the network.
 
+    /** Fault-injection plan; disabled (all rates zero) by default. */
+    sim::FaultSpec fault;
+
+    /**
+     * Livelock watchdog: abort a run when one tick processes this many
+     * events without time advancing (Engine::setEventsPerTickBudget).
+     * The default is far above anything a legal program reaches — the
+     * full BERT-Large run averages ~30 events/tick — so it only fires
+     * on genuine zero-delay wakeup cycles.
+     */
+    std::uint64_t watchdog_events_per_tick = 50'000'000;
+
     /** Member-wise equality (bench_util reuses a machine across equal
      *  configurations instead of rebuilding the datapath). */
     bool operator==(const MachineConfig &) const = default;
+
+    /**
+     * Structural sanity check, run by RsnMachine before any topology is
+     * built: FU counts, rates, widths and depths that used to fail as
+     * mid-run asserts are rejected up front with a diagnosable Status.
+     */
+    Status validate() const;
 
     /** The RSN-XNN prototype configuration. */
     static MachineConfig vck190(bool functional = false);

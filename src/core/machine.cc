@@ -36,6 +36,21 @@ constexpr FuId kMeshB{FuType::MeshB, 0};
 constexpr FuId kDdr{FuType::Ddr, 0};
 constexpr FuId kLpddr{FuType::Lpddr, 0};
 
+/**
+ * Gate on MachineConfig::validate() before any member that consumes the
+ * configuration is built (DramChannel and the topology assert on bad
+ * values mid-construction). cfg_ is the first member, so funneling the
+ * copy through here turns every structural error into one catchable
+ * std::runtime_error up front.
+ */
+const MachineConfig &
+validatedOrFatal(const MachineConfig &cfg)
+{
+    if (Status s = cfg.validate(); !s.ok())
+        rsn_fatal("invalid machine configuration: %s", s.message.c_str());
+    return cfg;
+}
+
 } // namespace
 
 net::Topology
@@ -100,13 +115,12 @@ buildRsnXnnTopology(const MachineConfig &cfg)
 }
 
 RsnMachine::RsnMachine(const MachineConfig &cfg)
-    : cfg_(cfg), host_(cfg.functional),
+    : cfg_(validatedOrFatal(cfg)), host_(cfg.functional),
       ddr_chan_(std::make_unique<mem::DramChannel>(eng_, cfg.ddr)),
       lpddr_chan_(std::make_unique<mem::DramChannel>(eng_, cfg.lpddr)),
       topo_(buildRsnXnnTopology(cfg))
 {
-    rsn_assert(cfg.num_mme == cfg.num_mem_c,
-               "each MME needs a MemC partner");
+    eng_.setEventsPerTickBudget(cfg_.watchdog_events_per_tick);
     buildFus();
     buildStreams();
     decoder_ = std::make_unique<isa::DecoderUnit>(
@@ -115,6 +129,15 @@ RsnMachine::RsnMachine(const MachineConfig &cfg)
                                        cfg.decoder_ticks_per_uop});
     for (auto &f : fus_)
         decoder_->attach(f.get());
+    if (cfg_.fault.enabled()) {
+        injector_ = std::make_unique<sim::FaultInjector>(cfg_.fault, eng_);
+        for (auto &s : streams_)
+            s->attachFaultInjector(injector_.get());
+        ddr_chan_->attachFaultInjector(injector_.get());
+        lpddr_chan_->attachFaultInjector(injector_.get());
+        for (auto &f : fus_)
+            f->setFaultInjector(injector_.get());
+    }
 }
 
 void
@@ -188,6 +211,8 @@ RsnMachine::reset()
     ddr_chan_->reset();
     lpddr_chan_->reset();
     host_.reset();
+    if (injector_)
+        injector_->reset();
     eng_.reset();
     ran_ = false;
     ran_completed_ = false;
@@ -212,13 +237,80 @@ RsnMachine::run(const isa::RsnProgram &prog, Tick max_ticks)
     bool all_halted = true;
     for (auto &f : fus_)
         all_halted &= f->halted();
-    r.completed = quiesced && all_halted && decoder_->done();
-    r.deadlocked = quiesced && !r.completed;
-    r.timed_out = !quiesced;
+    // A drained queue with coroutines still parked on a channel or
+    // stream is a *silent* deadlock (nothing left to wake them); it must
+    // not count as completion even when every FU happens to look done.
+    bool drain_clean = quiesced && eng_.drainedClean();
+    r.livelocked = eng_.watchdogTripped();
+    r.fault_aborted = eng_.stopRequested();
+    r.completed = quiesced && all_halted && decoder_->done() && drain_clean;
+    r.deadlocked = quiesced && !r.completed && !r.fault_aborted;
+    r.timed_out = !quiesced && !r.livelocked && !r.fault_aborted;
     ran_completed_ = r.completed;
-    if (!r.completed)
+    if (!r.completed) {
         r.diagnosis = stallReport();
+        if (quiesced && !drain_clean)
+            r.diagnosis += "parked waiters at drain (silent deadlock):\n" +
+                           eng_.drainDiagnosis();
+        else if (r.fault_aborted && !eng_.drainedClean())
+            // The same waiter scan after a fault stop: names the dead
+            // stream's lost chunks and the endpoints parked on them.
+            r.diagnosis +=
+                "parked waiters at fault stop:\n" + eng_.drainDiagnosis();
+        if (r.livelocked)
+            r.diagnosis +=
+                "watchdog: tick " +
+                std::to_string(static_cast<unsigned long long>(r.ticks)) +
+                " exceeded the event budget without advancing time\n";
+        if (r.fault_aborted && injector_ && injector_->firstHardFault())
+            r.diagnosis += "hard fault: " +
+                           injector_->firstHardFault()->toString() + "\n";
+    }
     return r;
+}
+
+RunReport
+RsnMachine::runChecked(const isa::RsnProgram &prog, Tick max_ticks)
+{
+    RunReport rep;
+    rep.result = run(prog, max_ticks);
+    if (injector_) {
+        rep.faults = injector_->log();
+        rep.faults_injected = injector_->totalInjected();
+    }
+    const RunResult &r = rep.result;
+    if (injector_ && injector_->hardFaulted())
+        rep.status = Status::error(StatusCode::FaultDiagnosed,
+                                   injector_->firstHardFault()->toString());
+    else if (r.completed)
+        rep.status = Status::success();
+    else if (r.livelocked)
+        rep.status = Status::error(StatusCode::Livelock, r.diagnosis);
+    else if (r.timed_out)
+        rep.status = Status::error(StatusCode::Timeout, r.diagnosis);
+    else
+        rep.status = Status::error(StatusCode::Deadlock, r.diagnosis);
+    return rep;
+}
+
+std::string
+RunReport::toString() const
+{
+    std::string s = status.toString();
+    s += " after " +
+         std::to_string(static_cast<unsigned long long>(result.ticks)) +
+         " ticks";
+    if (faults_injected > 0) {
+        s += "; " +
+             std::to_string(static_cast<unsigned long long>(
+                 faults_injected)) +
+             " fault(s) injected";
+        if (faults_injected > faults.size())
+            s += " (log capped at " + std::to_string(faults.size()) + ")";
+        for (const auto &f : faults)
+            s += "\n  " + f.toString();
+    }
+    return s;
 }
 
 std::string

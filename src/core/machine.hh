@@ -40,9 +40,29 @@ struct RunResult {
     bool completed = false;    ///< Program drained, all FUs halted.
     bool deadlocked = false;   ///< Quiesced with blocked FUs/decoders.
     bool timed_out = false;    ///< Hit the tick limit.
+    bool livelocked = false;   ///< Watchdog: a tick exceeded its budget.
+    bool fault_aborted = false;  ///< Injector diagnosed a hard fault.
     Tick ticks = 0;
     double ms = 0;             ///< Wall-clock on the modeled platform.
     std::string diagnosis;     ///< Stall report when not completed.
+};
+
+/**
+ * Structured outcome for callers that want a diagnosable error channel
+ * instead of picking RunResult flags apart (lib/runner, tools/rsn_sim).
+ * status.ok() iff the program completed; otherwise status carries the
+ * classification (FaultDiagnosed / Deadlock / Livelock / Timeout) and a
+ * message naming the first fault site or the stalled endpoints.
+ */
+struct RunReport {
+    Status status;
+    RunResult result;
+    /** Injected-fault log (bounded; see FaultInjector::kMaxLogRecords). */
+    std::vector<sim::FaultRecord> faults;
+    std::uint64_t faults_injected = 0;  ///< Total, including beyond log.
+
+    bool ok() const { return status.ok(); }
+    std::string toString() const;
 };
 
 class RsnMachine
@@ -69,9 +89,26 @@ class RsnMachine
         return streams_;
     }
 
+    /** Default run length: generous, but finite even for chaos runs. */
+    static constexpr Tick kDefaultMaxTicks = Tick(200) * 1000 * 1000 * 1000;
+
     /** Execute @p prog until completion / quiesce / @p max_ticks. */
     RunResult run(const isa::RsnProgram &prog,
-                  Tick max_ticks = Tick(200) * 1000 * 1000 * 1000);
+                  Tick max_ticks = kDefaultMaxTicks);
+
+    /**
+     * run() plus outcome classification: always returns (never throws on
+     * a diagnosed fault), with status Ok / FaultDiagnosed / Deadlock /
+     * Livelock / Timeout and the injector's fault log attached.
+     */
+    RunReport runChecked(const isa::RsnProgram &prog,
+                         Tick max_ticks = kDefaultMaxTicks);
+
+    /** Non-null iff cfg.fault.enabled() armed chaos at construction. */
+    const sim::FaultInjector *faultInjector() const
+    {
+        return injector_.get();
+    }
 
     /**
      * Rewind the machine for another program: engine clock to 0, FU /
@@ -103,6 +140,7 @@ class RsnMachine
 
     MachineConfig cfg_;
     sim::Engine eng_;
+    std::unique_ptr<sim::FaultInjector> injector_;  ///< Before datapath.
     mem::HostMemory host_;
     std::unique_ptr<mem::DramChannel> ddr_chan_;
     std::unique_ptr<mem::DramChannel> lpddr_chan_;

@@ -53,6 +53,7 @@ DdrFu::runKernel(const isa::Uop &uop)
             } else {
                 c = sim::makeChunk(u.rows, u.cols, i);
             }
+            stampEgress(c);
             countOut(c);
             co_await out(u.dest).send(std::move(c));
         } else {
@@ -98,6 +99,7 @@ LpddrFu::runKernel(const isa::Uop &uop)
         } else {
             c = sim::makeChunk(u.rows, u.cols, i);
         }
+        stampEgress(c);
         countOut(c);
         co_await out(u.dest).send(std::move(c));
     }

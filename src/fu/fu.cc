@@ -1,6 +1,7 @@
 #include "fu/fu.hh"
 
 #include "common/log.hh"
+#include "sim/fault.hh"
 
 namespace rsn::fu {
 
@@ -82,6 +83,27 @@ Fu::hasOutput(FuId to) const
         if (id == to)
             return true;
     return false;
+}
+
+void
+Fu::setFaultInjector(sim::FaultInjector *fi)
+{
+    fault_ = fi;
+    fault_site_ = fi ? fi->registerSite("fu " + name_) : 0;
+}
+
+void
+Fu::stampEgress(sim::Chunk &c)
+{
+    if (fault_) [[unlikely]]
+        fault_->stampChecksum(fault_site_, c);
+}
+
+void
+Fu::checkIngress(sim::Chunk &c)
+{
+    if (fault_) [[unlikely]]
+        fault_->ingressCheck(fault_site_, c);
 }
 
 std::string

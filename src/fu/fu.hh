@@ -24,6 +24,10 @@
 #include "sim/stream.hh"
 #include "sim/task.hh"
 
+namespace rsn::sim {
+class FaultInjector;
+}
+
 namespace rsn::fu {
 
 /** Execution statistics every FU tracks. */
@@ -94,6 +98,13 @@ class Fu
     /** Human-readable blocked/stall state for deadlock reports. */
     std::string stateString() const;
 
+    /**
+     * Arm payload-integrity fault injection (docs/robustness.md). Egress
+     * chunks produced by DDR/LPDDR load kernels are checksummed; ingress
+     * chunks consumed by Mem FUs are (maybe) bit-flipped and verified.
+     */
+    void setFaultInjector(sim::FaultInjector *fi);
+
   protected:
     /** Execute one kernel; implemented per FU type. */
     virtual sim::Task runKernel(const isa::Uop &uop) = 0;
@@ -105,6 +116,11 @@ class Fu
     void countIn(const sim::Chunk &c) { stats_.bytes_in += c.bytes(); }
     void countOut(const sim::Chunk &c) { stats_.bytes_out += c.bytes(); }
     void countFlops(std::uint64_t f) { stats_.flops += f; }
+    /** @} */
+
+    /** @{ Chaos hooks: no-ops unless a FaultInjector is attached. */
+    void stampEgress(sim::Chunk &c);
+    void checkIngress(sim::Chunk &c);
     /** @} */
 
     sim::Engine &eng_;
@@ -119,6 +135,8 @@ class Fu
     std::vector<std::pair<FuId, sim::Stream *>> outputs_;
     sim::Task loop_;
     FuStats stats_;
+    sim::FaultInjector *fault_ = nullptr;  ///< Null unless chaos is armed.
+    std::uint32_t fault_site_ = 0;
     bool started_ = false;
     bool halted_ = false;
     bool in_kernel_ = false;

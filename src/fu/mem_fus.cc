@@ -88,6 +88,7 @@ MemAFu::loadPart(const isa::MemAUop &u, TileBuffer &buf)
 {
     sim::Chunk c = co_await in(u.src).recv();
     countIn(c);
+    checkIngress(c);
     buf.rows = c.rows;
     buf.cols = c.cols;
     // Adopt the payload tile by reference: the DDR FU loaded it straight
@@ -153,6 +154,7 @@ MemBFu::loadPart(const isa::MemBUop &u, TileBuffer &buf)
 {
     sim::Chunk c = co_await in(u.src).recv();
     countIn(c);
+    checkIngress(c);
     buf.tile.clear();
     if (u.transpose) {
         buf.rows = c.cols;
@@ -267,6 +269,7 @@ MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
     if (u.add_residual) {
         sim::Chunk res = co_await in(ddr_).recv();
         countIn(res);
+        checkIngress(res);
         if (res.hasData() && buf.hasData()) {
             rsn_assert(res.elems() == n, "residual shape mismatch");
             const float *rp = res.data.data();
@@ -286,6 +289,7 @@ MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
     if (u.scale_shift) {
         params = co_await in(FuId{FuType::Lpddr, 0}).recv();
         countIn(params);
+        checkIngress(params);
         flops += elems * kScaleShiftFlopsPerElem;
     }
 

@@ -129,4 +129,34 @@ referenceForward(core::RsnMachine &mach, const Model &model,
     return acts;
 }
 
+CheckedRun
+runModelChecked(core::RsnMachine &mach, const Model &model,
+                const CompiledModel &compiled, std::uint32_t seed,
+                float rtol, float atol, Tick max_ticks)
+{
+    CheckedRun cr;
+    cr.functional = mach.host().functional();
+
+    std::map<std::string, ref::Matrix> refs;
+    if (cr.functional) {
+        initTensors(mach, compiled, seed);
+        refs = referenceForward(mach, model, compiled);
+    }
+
+    cr.report = mach.runChecked(compiled.program, max_ticks);
+
+    if (cr.functional && cr.report.ok()) {
+        for (const auto &[name, expect] : refs) {
+            if (name == "input" || !compiled.hasTensor(name))
+                continue;
+            ref::Matrix got = readTensor(mach, compiled, name);
+            if (!ref::allclose(got, expect, rtol, atol)) {
+                cr.outputs_ok = false;
+                cr.mismatched.push_back(name);
+            }
+        }
+    }
+    return cr;
+}
+
 } // namespace rsn::lib

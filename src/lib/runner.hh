@@ -14,6 +14,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/machine.hh"
 #include "lib/codegen.hh"
@@ -42,6 +43,34 @@ ref::Matrix readTensor(core::RsnMachine &mach,
 std::map<std::string, ref::Matrix>
 referenceForward(core::RsnMachine &mach, const Model &model,
                  const CompiledModel &compiled);
+
+/** Outcome of runModelChecked: run classification plus output check. */
+struct CheckedRun {
+    core::RunReport report;
+    bool functional = false;   ///< Machine carried FP32 payloads.
+    /** All produced tensors matched the reference (functional runs that
+     *  completed; vacuously true otherwise). */
+    bool outputs_ok = true;
+    std::vector<std::string> mismatched;  ///< Tensors that diverged.
+
+    /** Completed with verified outputs (or a timing-only completion). */
+    bool ok() const { return report.ok() && outputs_ok; }
+};
+
+/**
+ * The full checked execution flow in one call: seed tensors, capture the
+ * FP32 reference, run through the structured RunReport channel, and —
+ * when the run completes on a functional machine — compare every
+ * produced tensor against the reference. Never throws on a diagnosed
+ * fault / deadlock / timeout; those come back classified in the report.
+ * This is the path rsn-sim and the chaos tier drive.
+ */
+CheckedRun runModelChecked(core::RsnMachine &mach, const Model &model,
+                           const CompiledModel &compiled,
+                           std::uint32_t seed = 2025, float rtol = 2e-3f,
+                           float atol = 2e-3f,
+                           Tick max_ticks =
+                               core::RsnMachine::kDefaultMaxTicks);
 
 } // namespace rsn::lib
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "sim/fault.hh"
 
 namespace rsn::mem {
 
@@ -26,11 +27,30 @@ DramChannel::serviceTicks(const DramRequest &req) const
     return t ? t : 1;
 }
 
+void
+DramChannel::attachFaultInjector(sim::FaultInjector *fi)
+{
+    fault_ = fi;
+    fault_site_ = fi ? fi->registerSite("dram " + cfg_.name) : 0;
+}
+
 sim::Task
 DramChannel::access(DramRequest req)
 {
     Tick start = std::max(eng_.now(), busy_until_);
     Tick dur = serviceTicks(req);
+    if (fault_) [[unlikely]] {
+        // Transient transaction errors: each failed attempt re-occupies
+        // the channel for the full service time plus a deterministic
+        // tick-domain backoff, so recovery is part of the timing model.
+        // A dead request (retries exhausted) has already been recorded
+        // and flagged by the injector; the access still completes so the
+        // calling kernel suspends normally until the engine stops.
+        sim::FaultInjector::Outcome o =
+            fault_->onDramAccess(fault_site_, dur);
+        dur += o.extra;
+        retries_ += o.retries;
+    }
     busy_until_ = start + dur;
     busy_ticks_ += dur;
     ++requests_;

@@ -27,6 +27,10 @@
 #include "sim/engine.hh"
 #include "sim/task.hh"
 
+namespace rsn::sim {
+class FaultInjector;
+}
+
 namespace rsn::mem {
 
 /** Direction of an off-chip access. */
@@ -77,6 +81,16 @@ class DramChannel
     void scaleBandwidth(double factor);
 
     /**
+     * Arm transaction-fault injection (docs/robustness.md). Transient
+     * errors are retried with exponential backoff in simulated ticks —
+     * the retry burst occupies the channel like real traffic — and a
+     * request whose retries are exhausted flags an unrecoverable fault
+     * (the injector stops the run; the access itself still completes so
+     * the calling kernel stays well-formed).
+     */
+    void attachFaultInjector(sim::FaultInjector *fi);
+
+    /**
      * Clear stats and queueing state for a fresh run on a rewound engine
      * (RsnMachine::reset). Bandwidth scaling is configuration, not run
      * state, and survives.
@@ -89,6 +103,7 @@ class DramChannel
         bytes_read_ = 0;
         bytes_written_ = 0;
         requests_ = 0;
+        retries_ = 0;
     }
 
     /** Stats. */
@@ -96,6 +111,8 @@ class DramChannel
     Bytes bytesWritten() const { return bytes_written_; }
     Tick busyTicks() const { return busy_ticks_; }
     std::uint64_t requests() const { return requests_; }
+    /** Injected transient errors that were successfully retried. */
+    std::uint64_t retries() const { return retries_; }
 
     /** Achieved utilization of the busier direction over @p total ticks. */
     double utilization(Tick total) const;
@@ -111,6 +128,10 @@ class DramChannel
     Bytes bytes_read_ = 0;
     Bytes bytes_written_ = 0;
     std::uint64_t requests_ = 0;
+
+    sim::FaultInjector *fault_ = nullptr;  ///< Null unless chaos is armed.
+    std::uint32_t fault_site_ = 0;
+    std::uint64_t retries_ = 0;
 };
 
 } // namespace rsn::mem

@@ -38,10 +38,34 @@ class Channel
         : eng_(eng), cap_(capacity), name_(std::move(name))
     {
         rsn_assert(capacity > 0, "channel capacity must be positive");
+        eng_.registerWaitable(this);
     }
+
+    ~Channel() { eng_.unregisterWaitable(this); }
 
     Channel(const Channel &) = delete;
     Channel &operator=(const Channel &) = delete;
+
+    /** @{ Silent-deadlock detection (Engine::drainedClean): a drained
+     *  engine must leave no coroutine parked on this channel. */
+    bool
+    waitQuiet() const
+    {
+        return send_waiters_.empty() && recv_waiters_.empty();
+    }
+    [[gnu::cold]] std::string
+    describeBlocked() const
+    {
+        std::string s = "channel " + name_ + ":";
+        if (!send_waiters_.empty())
+            s += " " + std::to_string(send_waiters_.size()) +
+                 " parked sender(s)";
+        if (!recv_waiters_.empty())
+            s += " " + std::to_string(recv_waiters_.size()) +
+                 " parked receiver(s)";
+        return s;
+    }
+    /** @} */
 
     const std::string &name() const { return name_; }
     std::size_t capacity() const { return cap_; }

@@ -94,9 +94,17 @@ Engine::nextEventTick(Tick max_ticks)
 bool
 Engine::run(Tick max_ticks)
 {
+    // Watchdog countdown, rebased at every batch boundary. A local so it
+    // lives in a callee-saved register across dispatches: the hot loop
+    // pays one decrement-and-branch per event, no memory traffic
+    // (events_processed_ alone cannot bound a batch — a zero-delay
+    // wakeup cycle extends the *current* batch forever).
+    std::uint64_t budget_left = budget_;
     while (true) {
         if (active_head_ == kNil) {
             draining_ = false;
+            if (stop_requested_) [[unlikely]]
+                return false;  // fault-diagnosed stop at a batch boundary
             Tick t = nextEventTick(max_ticks);
             if (t == kTickMax)
                 return true;
@@ -116,6 +124,14 @@ Engine::run(Tick max_ticks)
             active_head_ = batch.head;
             active_tail_ = batch.tail;
             draining_ = true;
+            budget_left = budget_;
+        }
+        // Watchdog: a batch that keeps extending itself through the
+        // now-queue (a zero-delay wakeup cycle) would spin here forever
+        // without advancing time.
+        if (budget_left-- == 0) [[unlikely]] {
+            watchdog_tripped_ = true;
+            return false;
         }
         std::uint32_t cur = active_head_;
         --pending_;
@@ -146,6 +162,25 @@ Engine::run(Tick max_ticks)
         free_head_ = cur;
         active_head_ = nxt;
     }
+}
+
+bool
+Engine::drainedClean() const
+{
+    for (const WaitableRec &w : waitables_)
+        if (!w.quiet(w.obj))
+            return false;
+    return true;
+}
+
+std::string
+Engine::drainDiagnosis() const
+{
+    std::string s;
+    for (const WaitableRec &w : waitables_)
+        if (!w.quiet(w.obj))
+            s += w.describe(w.obj) + "\n";
+    return s;
 }
 
 Engine::~Engine()

@@ -57,6 +57,21 @@
  * rewinds time. If the queue drains, run() returns true and `now()`
  * stays at the tick of the last executed event. Ticks must be < kTickMax,
  * which is reserved as the "no limit" sentinel.
+ *
+ * ## Watchdog and stop requests
+ *
+ * A drained queue is necessary but not *sufficient* for a healthy finish:
+ * a coroutine parked on a channel or stream that nobody will ever wake
+ * holds no pending event, so run() historically returned true on such a
+ * silent deadlock. Primitives with parked parties now register as
+ * Waitable; after a drain the caller asks `drainedClean()` /
+ * `drainDiagnosis()` to detect and name stuck endpoints. Two run-loop
+ * guards complete the contract: `requestStop()` (used by the fault
+ * injector on an unrecoverable fault) aborts at the next batch boundary,
+ * and a per-tick event budget (`setEventsPerTickBudget`) trips
+ * `watchdogTripped()` when a single tick dispatches pathologically many
+ * events — a zero-delay livelock that would otherwise hang forever.
+ * Both guards make run() return false; see docs/robustness.md.
  */
 
 #ifndef RSN_SIM_ENGINE_HH
@@ -69,6 +84,7 @@
 #include <cstdint>
 #include <functional>
 #include <new>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -78,6 +94,23 @@
 #include "sim/tick_index.hh"
 
 namespace rsn::sim {
+
+/**
+ * Registry record for a primitive that can hold parked coroutines
+ * (Channel, Stream). The engine keeps these so that a drained event
+ * queue can be checked for silent deadlocks: waiters that no pending
+ * event will ever wake. Deliberately type-erased function pointers, not
+ * a virtual base — a vtable pointer would shift every hot member of
+ * Channel/Stream and cost measurable data-plane throughput for what is
+ * a post-run-only query surface.
+ */
+struct WaitableRec {
+    const void *obj;
+    /** True when nothing is parked on (or lost in) the primitive. */
+    bool (*quiet)(const void *);
+    /** Name the stuck endpoints for a deadlock diagnosis. */
+    std::string (*describe)(const void *);
+};
 
 /** Discrete-event engine; see file comment. */
 class Engine
@@ -165,11 +198,17 @@ class Engine
      * by channel/stream wakeups: during dispatch it is a single append to
      * the draining batch, with no wheel or heap traffic.
      */
-    void
+    [[gnu::always_inline]] inline void
     resumeNow(std::coroutine_handle<> h)
     {
-        if (!draining_) {
-            resumeAt(now_, h);
+        // Cold branch out of line: the idle-engine case drags the whole
+        // wheel-insertion path into this function's inline cost and can
+        // push the per-delivery hot append out of callers (measured on
+        // BM_StreamChunkTransfer; hence also the always_inline above —
+        // once the translation unit nears gcc's inline-growth cap this
+        // is the first hot function the heuristic abandons).
+        if (!draining_) [[unlikely]] {
+            resumeNowIdle(h);
             return;
         }
         std::uint32_t idx = grabSlot();
@@ -209,7 +248,66 @@ class Engine
         now_ = 0;
         base_ = 0;
         events_processed_ = 0;
+        stop_requested_ = false;
+        watchdog_tripped_ = false;
     }
+
+    /** @{ Waitable registry for silent-deadlock detection (file comment).
+     *  Channel and Stream register on construction; @p T provides
+     *  `waitQuiet()` and `describeBlocked()`. */
+    template <class T>
+    [[gnu::cold]] void
+    registerWaitable(const T *w)
+    {
+        waitables_.push_back(WaitableRec{
+            w,
+            [](const void *p) {
+                return static_cast<const T *>(p)->waitQuiet();
+            },
+            [](const void *p) {
+                return static_cast<const T *>(p)->describeBlocked();
+            }});
+    }
+    [[gnu::cold]] void
+    unregisterWaitable(const void *w)
+    {
+        for (auto it = waitables_.begin(); it != waitables_.end(); ++it) {
+            if (it->obj == w) {
+                *it = waitables_.back();
+                waitables_.pop_back();
+                return;
+            }
+        }
+    }
+    /** True iff no registered primitive holds a parked party. Meaningful
+     *  after run() returned true: a drain that is not clean is a silent
+     *  deadlock. */
+    bool drainedClean() const;
+    /** Name every blocked endpoint (one line per primitive). */
+    std::string drainDiagnosis() const;
+    /** @} */
+
+    /**
+     * Ask run() to stop at the next batch boundary (end of the current
+     * tick's dispatch). Used by the fault injector when an unrecoverable
+     * fault is diagnosed: the run ends with state intact for reporting.
+     * Sticky until reset().
+     */
+    void requestStop() { stop_requested_ = true; }
+    bool stopRequested() const { return stop_requested_; }
+
+    /**
+     * Watchdog: cap the events dispatched within one tick. Zero-delay
+     * wakeup cycles extend the current batch forever without advancing
+     * time; the budget turns that hang into a diagnosable stop
+     * (watchdogTripped() true, run() returns false). 0 = unlimited.
+     */
+    void
+    setEventsPerTickBudget(std::uint64_t n)
+    {
+        budget_ = n ? n : ~std::uint64_t(0);
+    }
+    bool watchdogTripped() const { return watchdog_tripped_; }
 
     /** Number of events processed so far (for stats / microbenchmarks). */
     std::uint64_t eventsProcessed() const { return events_processed_; }
@@ -298,17 +396,34 @@ class Engine
         }
     }
 
+    /** Out-of-line cold half of resumeNow(): the engine is idle, take
+     *  the full wheel-insertion path. */
+    [[gnu::noinline]] void
+    resumeNowIdle(std::coroutine_handle<> h)
+    {
+        resumeAt(now_, h);
+    }
+
+    /** Arena growth, out of line: vector reallocation is steady-state
+     *  cold and would otherwise bloat every scheduling call site's
+     *  inline cost. */
+    [[gnu::noinline]] std::uint32_t
+    growArena()
+    {
+        arena_.emplace_back();
+        return static_cast<std::uint32_t>(arena_.size() - 1);
+    }
+
     /** Pop a slot off the intrusive free list, or grow the arena. */
     std::uint32_t
     grabSlot()
     {
-        if (free_head_ != kNil) {
+        if (free_head_ != kNil) [[likely]] {
             std::uint32_t idx = free_head_;
             free_head_ = arena_[idx].next;
             return idx;
         }
-        arena_.emplace_back();
-        return static_cast<std::uint32_t>(arena_.size() - 1);
+        return growArena();
     }
 
     /** Pop a recycled slot (or grow the arena), link it into the batch for
@@ -377,11 +492,19 @@ class Engine
     TickIndex batches_;            ///< Overflow tick -> batch head/tail.
     std::uint32_t active_head_ = kNil;  ///< Batch being drained by run().
     std::uint32_t active_tail_ = kNil;
+    // stop_requested_ and the watchdog state sit here, among the scalars
+    // run() already touches every batch, so the per-batch checks read a
+    // cache line that is hot anyway instead of a fresh one at the end of
+    // the object.
     bool draining_ = false;
+    bool stop_requested_ = false;
+    bool watchdog_tripped_ = false;
     Tick now_ = 0;
     Tick base_ = 0;  ///< Wheel alignment base; base_ <= now() between runs.
+    std::uint64_t budget_ = ~std::uint64_t(0);  ///< Events per tick.
     std::uint64_t pending_ = 0;
     std::uint64_t events_processed_ = 0;
+    std::vector<WaitableRec> waitables_;
 };
 
 /** Awaitable suspending a coroutine until a given absolute tick. */

@@ -31,7 +31,10 @@ class Ring
     bool empty() const { return head_ == tail_; }
     std::size_t size() const { return tail_ - head_; }
 
-    T &front()
+    // front/pop_front/drop_front are forced inline: they sit inside the
+    // engine's per-event delivery loop, and under LTO the global inline
+    // budget can otherwise evict them once unrelated code grows.
+    [[gnu::always_inline]] T &front()
     {
         rsn_assert(!empty(), "ring underflow");
         return buf_[head_ & mask()];
@@ -45,7 +48,7 @@ class Ring
         buf_[tail_++ & mask()] = std::move(v);
     }
 
-    T
+    [[gnu::always_inline]] T
     pop_front()
     {
         rsn_assert(!empty(), "ring underflow");
@@ -57,7 +60,7 @@ class Ring
      * already consumed the front through front() — the slot keeps its
      * moved-from value, exactly as after pop_front().
      */
-    void
+    [[gnu::always_inline]] void
     drop_front()
     {
         rsn_assert(!empty(), "ring underflow");

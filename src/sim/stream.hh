@@ -51,6 +51,7 @@
 #include "common/log.hh"
 #include "sim/chunk.hh"
 #include "sim/engine.hh"
+#include "sim/fault.hh"
 #include "sim/ring.hh"
 
 namespace rsn::sim {
@@ -81,10 +82,55 @@ class Stream
             if ((bpt_int_ & (bpt_int_ - 1)) == 0)
                 bpt_shift_ = std::countr_zero(bpt_int_);
         }
+        eng_.registerWaitable(this);
     }
+
+    ~Stream() { eng_.unregisterWaitable(this); }
 
     Stream(const Stream &) = delete;
     Stream &operator=(const Stream &) = delete;
+
+    /**
+     * Arm link-layer fault injection for this stream (docs/robustness.md).
+     * The hot path pays one null check when faults are off; when on,
+     * admit() folds the injector's stalls and retransmissions into link
+     * occupancy, and a transfer whose retries are exhausted is lost —
+     * the chunk is destroyed and a waiting sender stays parked, which
+     * the engine's drain diagnosis then names.
+     */
+    [[gnu::cold]] void
+    attachFaultInjector(FaultInjector *fi)
+    {
+        fault_ = fi;
+        fault_site_ = fi ? fi->registerSite("stream " + name_) : 0;
+    }
+
+    /** @{ Silent-deadlock detection (Engine::drainedClean). */
+    bool
+    waitQuiet() const
+    {
+        return pending_.empty() && recv_waiters_.empty() &&
+               flush_waiters_.empty() && dead_sends_ == 0;
+    }
+    [[gnu::cold]] std::string
+    describeBlocked() const
+    {
+        std::string s = "stream " + name_ + ":";
+        if (!pending_.empty())
+            s += " " + std::to_string(pending_.size()) +
+                 " parked sender(s)";
+        if (!recv_waiters_.empty())
+            s += " " + std::to_string(recv_waiters_.size()) +
+                 " parked receiver(s)";
+        if (!flush_waiters_.empty())
+            s += " " + std::to_string(flush_waiters_.size()) +
+                 " parked flusher(s)";
+        if (dead_sends_ > 0)
+            s += " " + std::to_string(dead_sends_) +
+                 " send(s) lost to a dead link";
+        return s;
+    }
+    /** @} */
 
     const std::string &name() const { return name_; }
     double bytesPerTick() const { return bytes_per_tick_; }
@@ -93,8 +139,13 @@ class Stream
     Bytes bytesTransferred() const { return bytes_transferred_; }
     /** Total chunks delivered (stats). */
     std::uint64_t chunksTransferred() const { return chunks_transferred_; }
-    /** Ticks the link spent busy transferring (stats). */
+    /** Ticks the link spent busy transferring (stats). Includes injected
+     *  stalls and retry/backoff occupancy when faults are armed. */
     Tick busyTicks() const { return busy_ticks_; }
+    /** Injected-fault recovery stats: successful retransmissions and
+     *  chunks lost to a dead link. */
+    std::uint64_t linkRetries() const { return link_retries_; }
+    std::uint64_t deadSends() const { return dead_sends_; }
 
     /** True if a chunk is waiting for a FIFO slot (back-pressure). */
     bool hasBlockedSender() const { return !pending_.empty(); }
@@ -184,6 +235,8 @@ class Stream
         busy_ticks_ = 0;
         bytes_transferred_ = 0;
         chunks_transferred_ = 0;
+        link_retries_ = 0;
+        dead_sends_ = 0;
     }
 
   private:
@@ -197,13 +250,42 @@ class Stream
     /** Slots claimed = delivered-and-queued + admitted to the link. */
     std::size_t claimed() const { return q_.size() + xfer_.size(); }
 
+    /**
+     * Cold path of admit(): consult the injector and fold the outcome
+     * into @p dur. Returns false when the link is dead (the chunk must
+     * be lost). Kept out of line so the chaos machinery never bloats the
+     * fault-free admit() past the inliner's budget — with faults off the
+     * hot path pays exactly one null check.
+     */
+    [[gnu::cold, gnu::noinline]] bool
+    admitFaulted(Tick &dur)
+    {
+        FaultInjector::Outcome o = fault_->onLinkAdmit(fault_site_, dur);
+        if (o.dead) {
+            // Unrecoverable link fault: the chunk is lost and a
+            // suspended sender is never resumed — the injector has
+            // already recorded the diagnosis and asked the engine to
+            // stop; waitQuiet() keeps the loss visible to the drain
+            // diagnosis either way.
+            ++dead_sends_;
+            return false;
+        }
+        dur += o.extra;  // stalls + retransmissions + tick backoff
+        link_retries_ += o.retries;
+        return true;
+    }
+
     /** Claim a slot and put @p c on the link behind earlier transfers. */
     void
     admit(Chunk &&c, std::coroutine_handle<> waiter)
     {
         Tick start = std::max(eng_.now(), link_free_);
-        Tick end = start + transferTicks(c.bytes());
-        busy_ticks_ += end - start;
+        Tick dur = transferTicks(c.bytes());
+        if (fault_) [[unlikely]]
+            if (!admitFaulted(dur))
+                return;  // dead link: the chunk dies here
+        Tick end = start + dur;
+        busy_ticks_ += dur;
         link_free_ = end;
         bool link_was_idle = xfer_.empty();
         xfer_.push_back(Xfer{std::move(c), waiter, end});
@@ -361,6 +443,11 @@ class Stream
     Tick busy_ticks_ = 0;
     Bytes bytes_transferred_ = 0;
     std::uint64_t chunks_transferred_ = 0;
+
+    FaultInjector *fault_ = nullptr;  ///< Null unless chaos is armed.
+    FaultInjector::SiteId fault_site_ = 0;
+    std::uint64_t link_retries_ = 0;
+    std::uint64_t dead_sends_ = 0;
 };
 
 } // namespace rsn::sim

@@ -199,8 +199,11 @@ class TileRef
     /** True when exactly one reference exists. */
     bool unique() const { return h_ && h_->refs == 1; }
 
-    /** Drop this reference (no-op when empty). */
-    void release();
+    /** Drop this reference (no-op when empty). Forced inline: every
+     *  chunk hand-off on the stream hot path drops a ref, and the LTO
+     *  inline budget must not be allowed to out-line it (the retire()
+     *  slow path stays an out-of-line call either way). */
+    [[gnu::always_inline]] void release();
 
   private:
     friend class TilePool;

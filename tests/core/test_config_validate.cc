@@ -1,0 +1,149 @@
+/**
+ * @file
+ * MachineConfig::validate() negative tier (ISSUE 6): structural config
+ * errors that used to surface as mid-run asserts (or not at all) are
+ * rejected up front with StatusCode::InvalidConfig, and building a
+ * machine from a bad config throws a catchable std::runtime_error
+ * instead of tearing the process down.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/config.hh"
+#include "core/machine.hh"
+
+namespace {
+
+using namespace rsn;
+
+core::MachineConfig
+good()
+{
+    return core::MachineConfig::vck190();
+}
+
+void
+expectInvalid(const core::MachineConfig &cfg, const char *what)
+{
+    Status s = cfg.validate();
+    EXPECT_FALSE(s.ok()) << what;
+    EXPECT_EQ(s.code, StatusCode::InvalidConfig) << what;
+    EXPECT_FALSE(s.message.empty()) << what;
+}
+
+TEST(ConfigValidate, DefaultAndVck190AreValid)
+{
+    EXPECT_TRUE(core::MachineConfig{}.validate().ok());
+    Status s = good().validate();
+    EXPECT_TRUE(s.ok()) << s.toString();
+    EXPECT_TRUE(good().validate());  // explicit operator bool
+}
+
+TEST(ConfigValidate, RejectsZeroOrOverflowingFuCounts)
+{
+    auto cfg = good();
+    cfg.num_mme = 0;
+    expectInvalid(cfg, "zero MMEs");
+
+    cfg = good();
+    cfg.num_mem_a = -1;
+    expectInvalid(cfg, "negative MemA count");
+
+    cfg = good();
+    cfg.num_mme = 300;  // FuId packs the index into 8 bits
+    cfg.num_mem_c = 300;
+    expectInvalid(cfg, "FuId overflow");
+
+    cfg = good();
+    cfg.num_mem_c = cfg.num_mme + 1;
+    expectInvalid(cfg, "MME/MemC partner mismatch");
+}
+
+TEST(ConfigValidate, RejectsNonPositiveRatesAndWidths)
+{
+    auto cfg = good();
+    cfg.ddr.read_gbps = 0;
+    expectInvalid(cfg, "zero DDR bandwidth");
+
+    cfg = good();
+    cfg.lpddr.write_gbps = -1.0;
+    expectInvalid(cfg, "negative LPDDR bandwidth");
+
+    cfg = good();
+    cfg.widths.mesha_to_mme = 0;
+    expectInvalid(cfg, "zero stream width");
+
+    cfg = good();
+    cfg.widths.memc_to_ddr =
+        std::numeric_limits<double>::infinity();
+    expectInvalid(cfg, "infinite stream width");
+
+    cfg = good();
+    cfg.memc_flops_per_tick = 0;
+    expectInvalid(cfg, "zero MemC rate");
+
+    cfg = good();
+    cfg.clocks.plHz = 0;
+    expectInvalid(cfg, "zero PL clock");
+}
+
+TEST(ConfigValidate, RejectsZeroDepthsAndBudgets)
+{
+    auto cfg = good();
+    cfg.stream_depth = 0;
+    expectInvalid(cfg, "zero stream depth");
+
+    cfg = good();
+    cfg.uop_fifo_depth = 0;
+    expectInvalid(cfg, "zero uOP FIFO depth");
+
+    cfg = good();
+    cfg.fetch_fifo_depth = 0;
+    expectInvalid(cfg, "zero fetch FIFO depth");
+
+    cfg = good();
+    cfg.decoder_ticks_per_uop = 0;
+    expectInvalid(cfg, "zero decoder cost");
+
+    cfg = good();
+    cfg.watchdog_events_per_tick = 0;
+    expectInvalid(cfg, "zero watchdog budget");
+}
+
+TEST(ConfigValidate, PropagatesFaultSpecErrors)
+{
+    auto cfg = good();
+    cfg.fault.dram_rate = 2.0;
+    expectInvalid(cfg, "bad fault rate");
+
+    cfg = good();
+    cfg.fault = sim::FaultSpec::chaosPreset(9);
+    Status s = cfg.validate();
+    EXPECT_TRUE(s.ok()) << s.toString();
+}
+
+TEST(ConfigValidate, MachineConstructionFromBadConfigThrows)
+{
+    // The error is catchable (std::runtime_error via rsn_fatal), fires
+    // before any datapath is built, and names the offending field.
+    auto cfg = good();
+    cfg.widths.mme_to_memc = 0;
+    try {
+        core::RsnMachine mach(cfg);
+        FAIL() << "bad config built a machine";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("mme_to_memc"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ConfigValidate, MachineConstructionFromGoodConfigDoesNotThrow)
+{
+    EXPECT_NO_THROW({ core::RsnMachine mach(good()); });
+}
+
+} // namespace

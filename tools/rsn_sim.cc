@@ -16,17 +16,30 @@
  *     --plan                          print the segmentation plan
  *     --dot                           print the datapath as Graphviz DOT
  *     --instr                         print instruction statistics
+ *     --fault-spec SPEC               arm fault injection; SPEC is
+ *                                     "key=value,..." (sim/fault.hh) or
+ *                                     the preset name "chaos"
+ *     --fault-seed N                  seed for the fault schedule
+ *
+ * Exit codes:
+ *   0  run completed (outputs verified when --functional)
+ *   1  run completed but outputs mismatched the FP32 reference
+ *   2  usage error (unknown flag / model / schedule)
+ *   3  invalid configuration (bad machine config or fault spec)
+ *   4  run diagnosed: injected hard fault, deadlock, livelock, timeout
  *
  * Examples:
  *   rsn-sim --model bert --batch 6 --seq 512
  *   rsn-sim --model bert --schedule noopt --instr
  *   rsn-sim --model tiny --functional
+ *   rsn-sim --model tiny --functional --fault-spec chaos --fault-seed 7
  *   rsn-sim --model bert --trace /tmp/rsn.json
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
 #include "core/machine.hh"
@@ -53,6 +66,9 @@ struct Options {
     bool print_plan = false;
     bool print_dot = false;
     bool print_instr = false;
+    std::string fault_spec;
+    std::uint64_t fault_seed = 0;
+    bool fault_seed_set = false;
 };
 
 void
@@ -97,19 +113,40 @@ parse(int argc, char **argv)
             o.print_dot = true;
         else if (a == "--instr")
             o.print_instr = true;
-        else
+        else if (a == "--fault-spec")
+            o.fault_spec = next();
+        else if (a == "--fault-seed") {
+            o.fault_seed = std::strtoull(next().c_str(), nullptr, 10);
+            o.fault_seed_set = true;
+        } else
             usage();
     }
     return o;
 }
+
+int runMain(const Options &o);
 
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    using namespace rsn;
     Options o = parse(argc, argv);
+    try {
+        return runMain(o);
+    } catch (const std::runtime_error &e) {
+        // rsn_fatal: a user/config error the driver can classify.
+        std::fprintf(stderr, "%s\n", e.what());
+        return 3;
+    }
+}
+
+namespace {
+
+int
+runMain(const Options &o)
+{
+    using namespace rsn;
 
     lib::Model model;
     if (o.model == "bert")
@@ -143,6 +180,26 @@ main(int argc, char **argv)
         cfg.lpddr.read_gbps *= o.bw_scale;
         cfg.lpddr.write_gbps *= o.bw_scale;
     }
+    if (!o.fault_spec.empty()) {
+        Status st;
+        cfg.fault = sim::FaultSpec::parse(o.fault_spec, &st);
+        if (!st.ok()) {
+            std::fprintf(stderr, "%s\n", st.toString().c_str());
+            return 3;
+        }
+    }
+    if (o.fault_seed_set) {
+        // A bare --fault-seed arms the chaos preset; with --fault-spec it
+        // just overrides the spec's seed.
+        if (o.fault_spec.empty())
+            cfg.fault = sim::FaultSpec::chaosPreset(o.fault_seed);
+        else
+            cfg.fault.seed = o.fault_seed;
+    }
+    if (Status st = cfg.validate(); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.toString().c_str());
+        return 3;
+    }
     core::RsnMachine mach(cfg);
 
     if (o.print_plan) {
@@ -166,22 +223,16 @@ main(int argc, char **argv)
                     double(uop_bytes) / compiled.program.totalBytes());
     }
 
-    if (o.functional)
-        lib::initTensors(mach, compiled, 2025);
     std::unique_ptr<core::Tracer> tracer;
     if (!o.trace_path.empty())
         tracer = std::make_unique<core::Tracer>(mach);
 
-    auto refs = o.functional
-                    ? lib::referenceForward(mach, model, compiled)
-                    : std::map<std::string, ref::Matrix>{};
-
-    auto r = mach.run(compiled.program);
-    if (!r.completed) {
-        std::printf("RUN DID NOT COMPLETE (%s)\n%s\n",
-                    r.deadlocked ? "deadlock" : "timeout",
-                    r.diagnosis.c_str());
-        return 1;
+    auto checked = lib::runModelChecked(mach, model, compiled, 2025);
+    const auto &r = checked.report.result;
+    if (!checked.report.ok()) {
+        std::printf("RUN DID NOT COMPLETE\n%s\n",
+                    checked.report.toString().c_str());
+        return 4;
     }
 
     std::printf("%s: %u x %u, %s schedule\n", model.name.c_str(),
@@ -203,19 +254,21 @@ main(int argc, char **argv)
                 power.operatingWatts(mach, r),
                 power.dynamicWatts(mach, r));
 
+    if (mach.faultInjector()) {
+        std::printf("  faults    : %llu injected and recovered (spec %s)\n",
+                    (unsigned long long)checked.report.faults_injected,
+                    cfg.fault.toString().c_str());
+    }
     if (o.functional) {
-        bool all_ok = true;
-        for (const auto &[name, expect] : refs) {
-            if (name == "input" || !compiled.hasTensor(name))
-                continue;
-            auto got = lib::readTensor(mach, compiled, name);
-            all_ok &= ref::allclose(got, expect, 2e-3f, 2e-3f);
-        }
         std::printf("  functional: %s\n",
-                    all_ok ? "all tensors match the FP32 reference"
-                           : "MISMATCH");
-        if (!all_ok)
+                    checked.outputs_ok
+                        ? "all tensors match the FP32 reference"
+                        : "MISMATCH");
+        if (!checked.outputs_ok) {
+            for (const auto &name : checked.mismatched)
+                std::printf("    diverged: %s\n", name.c_str());
             return 1;
+        }
     }
     if (tracer) {
         if (tracer->writeChromeJson(o.trace_path))
@@ -228,3 +281,5 @@ main(int argc, char **argv)
     }
     return 0;
 }
+
+} // namespace

@@ -18,4 +18,26 @@ ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
     --benchmark_filter='BM_EngineEventDispatch/1000$|BM_ChannelPingPong/1000$|BM_CoroResumeDispatch/1000$' \
     >/dev/null 2>&1
 
+# Chaos smoke (docs/robustness.md): two seeded fault schedules on the
+# tiny functional model. Each run must terminate with a structured
+# outcome — clean completion (0) or diagnosed fault (4), never a hang or
+# a crash — and repeating the seed must reproduce the output verbatim.
+for seed in 1 2; do
+    for rep in a b; do
+        rc=0
+        "$BUILD/rsn-sim" --model tiny --functional --fault-seed "$seed" \
+            >"$BUILD/chaos_${seed}_${rep}.out" 2>&1 || rc=$?
+        if [ "$rc" -ne 0 ] && [ "$rc" -ne 4 ]; then
+            echo "smoke: chaos seed $seed exited $rc (want 0 or 4)" >&2
+            cat "$BUILD/chaos_${seed}_${rep}.out" >&2
+            exit 1
+        fi
+    done
+    if ! cmp -s "$BUILD/chaos_${seed}_a.out" "$BUILD/chaos_${seed}_b.out"; then
+        echo "smoke: chaos seed $seed is not reproducible" >&2
+        diff "$BUILD/chaos_${seed}_a.out" "$BUILD/chaos_${seed}_b.out" >&2
+        exit 1
+    fi
+done
+
 echo "smoke: OK"

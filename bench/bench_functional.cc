@@ -21,14 +21,33 @@
 #include <vector>
 
 #include "core/machine.hh"
+#include "fu/kernel_registry.hh"
 #include "fu/nonlinear.hh"
-#include "fu/nonlinear_simd.hh"
 #include "lib/codegen.hh"
 #include "lib/model.hh"
 #include "lib/runner.hh"
 #include "mem/hostmem.hh"
 
 namespace {
+
+/** The probed-best vectorized kernel table — what a production run on
+ *  this machine would select (never the scalar reference). Benchmarks
+ *  pin it explicitly so the recorded label names the ISA even when the
+ *  bench process is launched with RSN_ISA set. */
+const rsn::kernel::KernelTable &
+bestTable()
+{
+    auto &reg = rsn::kernel::Registry::instance();
+    std::vector<rsn::kernel::Isa> compiled_in;
+    for (const auto *t : reg.tables())
+        compiled_in.push_back(t->isa);
+    const rsn::kernel::Isa best =
+        rsn::kernel::chooseBest(reg.probe(), compiled_in);
+    for (const auto *t : reg.tables())
+        if (t->isa == best)
+            return *t;
+    return reg.active();
+}
 
 /**
  * Functional tiny-encoder end-to-end (B=2, S=64, H=128, FF=256): the
@@ -38,13 +57,15 @@ namespace {
  * uOP cache) lands here. One item == one full simulated run carrying
  * FP32 payloads; compile/init are excluded from the timed region. The
  * machine is reset between runs, mirroring the BenchContext sweep
- * pattern. @p mode picks the nonlinear kernels: the vectorized default
- * (the headline) or the exact scalar reference (the A/B).
+ * pattern. @p table picks the payload kernels: the runtime-selected
+ * best (the headline) or the exact scalar reference (the A/B); the
+ * series label in BENCH_sim.json is the table's ISA name.
  */
 void
-functionalTinyEncoder(benchmark::State &state, rsn::fu::NonlinearMode mode)
+functionalTinyEncoder(benchmark::State &state,
+                      const rsn::kernel::KernelTable &table)
 {
-    rsn::fu::ScopedNonlinearMode nl(mode);
+    rsn::kernel::ScopedIsaOverride pin(table);
     auto model = rsn::lib::tinyEncoder(/*batch=*/2, /*seq=*/64,
                                        /*hidden=*/128, /*heads=*/4,
                                        /*ff=*/256, /*fuse_qkv=*/true);
@@ -66,22 +87,24 @@ functionalTinyEncoder(benchmark::State &state, rsn::fu::NonlinearMode mode)
         benchmark::DoNotOptimize(r.ticks);
     }
     state.SetItemsProcessed(state.iterations());
-    state.SetLabel(rsn::fu::nonlinearModeName());
+    state.SetLabel(table.name);
 }
 
 void
 BM_FunctionalTinyEncoder(benchmark::State &state)
 {
-    functionalTinyEncoder(state, rsn::fu::NonlinearMode::Simd);
+    functionalTinyEncoder(state, bestTable());
 }
 BENCHMARK(BM_FunctionalTinyEncoder)->Unit(benchmark::kMillisecond);
 
-/** Same workload on the exact scalar nonlinear kernels (libm erf/exp):
- *  the accuracy-reference configuration the golden tier validates. */
+/** Same workload on the exact scalar kernel table (scalar GEMM loop,
+ *  libm erf/exp): the accuracy-reference configuration the golden tier
+ *  validates. */
 void
 BM_FunctionalTinyEncoderExact(benchmark::State &state)
 {
-    functionalTinyEncoder(state, rsn::fu::NonlinearMode::Exact);
+    functionalTinyEncoder(state,
+                          *rsn::kernel::Registry::instance().find("scalar"));
 }
 BENCHMARK(BM_FunctionalTinyEncoderExact)->Unit(benchmark::kMillisecond);
 
@@ -125,23 +148,25 @@ nonlinearInput(std::size_t n)
     return v;
 }
 
-/** Row-wise softmax through the vectorized nonlinear layer (the MemC
- *  dispatch default). One item == one element; rows are 64 wide tiles
- *  of Arg(0) columns, the datapath's attention-score shapes. */
+/** Row-wise softmax through the runtime-selected best kernel table
+ *  (what MemC dispatches to in production). One item == one element;
+ *  rows are 64 wide tiles of Arg(0) columns, the datapath's
+ *  attention-score shapes. */
 void
 BM_NonlinearSoftmax(benchmark::State &state)
 {
+    const auto &table = bestTable();
     const std::uint32_t rows = 64;
     const auto cols = static_cast<std::uint32_t>(state.range(0));
     const auto src = nonlinearInput(std::size_t(rows) * cols);
     auto tile = src;
     for (auto _ : state) {
         std::copy(src.begin(), src.end(), tile.begin());
-        rsn::fu::softmaxRowsSimd(tile.data(), rows, cols);
+        table.softmax_rows(tile.data(), rows, cols);
         benchmark::DoNotOptimize(tile.data());
     }
     state.SetItemsProcessed(state.iterations() * rows * cols);
-    state.SetLabel(rsn::fu::nonlinearSimdKernelName());
+    state.SetLabel(table.name);
 }
 BENCHMARK(BM_NonlinearSoftmax)->Arg(64)->Arg(512);
 
@@ -160,23 +185,25 @@ BM_NonlinearSoftmaxExact(benchmark::State &state)
         benchmark::DoNotOptimize(tile.data());
     }
     state.SetItemsProcessed(state.iterations() * rows * cols);
+    state.SetLabel("scalar");
 }
 BENCHMARK(BM_NonlinearSoftmaxExact)->Arg(512);
 
-/** Element-wise GELU through the vectorized layer (tanh formula,
- *  polynomial exp). */
+/** Element-wise GELU through the best table (tanh formula, polynomial
+ *  exp). */
 void
 BM_NonlinearGelu(benchmark::State &state)
 {
+    const auto &table = bestTable();
     const auto src = nonlinearInput(state.range(0));
     auto tile = src;
     for (auto _ : state) {
         std::copy(src.begin(), src.end(), tile.begin());
-        rsn::fu::geluInplaceSimd(tile.data(), tile.size());
+        table.gelu_inplace(tile.data(), tile.size());
         benchmark::DoNotOptimize(tile.data());
     }
     state.SetItemsProcessed(state.iterations() * state.range(0));
-    state.SetLabel(rsn::fu::nonlinearSimdKernelName());
+    state.SetLabel(table.name);
 }
 BENCHMARK(BM_NonlinearGelu)->Arg(32768);
 
@@ -192,6 +219,7 @@ BM_NonlinearGeluExact(benchmark::State &state)
         benchmark::DoNotOptimize(tile.data());
     }
     state.SetItemsProcessed(state.iterations() * state.range(0));
+    state.SetLabel("scalar");
 }
 BENCHMARK(BM_NonlinearGeluExact)->Arg(32768);
 

@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "fu/ddr_fus.hh"
+#include "fu/kernel_registry.hh"
 #include "fu/mem_fus.hh"
 #include "fu/mesh.hh"
 #include "fu/mme.hh"
@@ -273,6 +274,12 @@ RunReport
 RsnMachine::runChecked(const isa::RsnProgram &prog, Tick max_ticks)
 {
     RunReport rep;
+    {
+        const kernel::Registry &reg = kernel::Registry::instance();
+        rep.isa = reg.active().name;
+        rep.isa_source = reg.selectionSource();
+        rep.isa_probe = reg.probe().toString();
+    }
     rep.result = run(prog, max_ticks);
     if (injector_) {
         rep.faults = injector_->log();
@@ -300,6 +307,8 @@ RunReport::toString() const
     s += " after " +
          std::to_string(static_cast<unsigned long long>(result.ticks)) +
          " ticks";
+    if (!isa.empty())
+        s += "; kernels " + isa + " (" + isa_source + ")";
     if (faults_injected > 0) {
         s += "; " +
              std::to_string(static_cast<unsigned long long>(

@@ -1,323 +1,6 @@
 #include "fu/gemm_kernel.hh"
 
-#include <algorithm>
-
-#if defined(RSN_SIMD) && defined(__AVX512F__)
-#include <immintrin.h>
-#define RSN_GEMM_AVX512 1
-#elif defined(RSN_SIMD) && defined(__AVX2__) && defined(__FMA__)
-#include <immintrin.h>
-#define RSN_GEMM_AVX2 1
-#elif defined(RSN_SIMD) && defined(__ARM_NEON)
-#include <arm_neon.h>
-#define RSN_GEMM_NEON 1
-#endif
-
 namespace rsn::fu {
-
-namespace {
-
-// Register block sizes, tuned on the shapes the datapath actually
-// produces (M = row-slices of 16..64, K/N = 16..512): AVX2 8x16 — 16
-// accumulator ymm with a 2-deep K unroll measures ~60 GFLOPS on those
-// shapes vs ~36 for the textbook 6x16, because mesh row-slices are
-// multiples of 8, so MR=8 wastes no edge work. AVX-512 widens the same
-// 8-row block to 32 columns (16 zmm accumulators, ~90 GFLOPS). NEON
-// 8x8 is the same shape over 16 q-register accumulators. The portable
-// kernel keeps the accumulator tile at 2x16 — small enough that -O3
-// auto-vectorization holds it in registers even on bare SSE2 (4x16 and
-// up spill and end up slower than the scalar loop).
-#if RSN_GEMM_AVX512
-constexpr std::uint32_t kMr = 8;
-constexpr std::uint32_t kNr = 32;
-#elif RSN_GEMM_AVX2
-constexpr std::uint32_t kMr = 8;
-constexpr std::uint32_t kNr = 16;
-#elif RSN_GEMM_NEON
-constexpr std::uint32_t kMr = 8;
-constexpr std::uint32_t kNr = 8;
-#else
-constexpr std::uint32_t kMr = 2;
-constexpr std::uint32_t kNr = 16;
-#endif
-
-/**
- * Pack lhs(m x k) into MR-interleaved panels: panel element
- * [ib][kk * kMr + ir] = lhs[(ib*kMr + ir) * k + kk], rows beyond m
- * zero-padded. The microkernel then reads kMr consecutive LHS values
- * per k step — one cache line instead of kMr strided streams — and
- * needs no row-edge branches. The panel is reused across all n/kNr
- * column blocks, so packing cost amortizes kNr-fold and more.
- */
-void
-packLhs(float *panel, const float *lhs, std::uint32_t m, std::uint32_t k)
-{
-    for (std::uint32_t i0 = 0; i0 < m; i0 += kMr) {
-        const std::uint32_t mr = std::min(kMr, m - i0);
-        for (std::uint32_t kk = 0; kk < k; ++kk) {
-            std::uint32_t ir = 0;
-            for (; ir < mr; ++ir)
-                panel[kk * kMr + ir] =
-                    lhs[std::size_t(i0 + ir) * k + kk];
-            for (; ir < kMr; ++ir)
-                panel[kk * kMr + ir] = 0.f;
-        }
-        panel += std::size_t(kMr) * k;
-    }
-}
-
-/**
- * Pack the rightmost n%kNr columns of rhs(k x n) into a zero-padded
- * k x kNr panel. Full-width column blocks are *not* packed: RHS rows
- * are already contiguous, and on the tile sizes the datapath moves
- * (L2-resident) measuring showed direct strided reads beat paying the
- * pack memcpy per call — the panel's reuse factor along M is too small
- * to amortize it. The tail panel keeps the inner kernel branch-free on
- * ragged widths instead of falling off a scalar cliff.
- */
-void
-packRhsTail(float *panel, const float *rhs, std::uint32_t k,
-            std::uint32_t n, std::uint32_t j0)
-{
-    const std::uint32_t nr = n - j0;
-    for (std::uint32_t kk = 0; kk < k; ++kk) {
-        const float *src = rhs + std::size_t(kk) * n + j0;
-        float *dst = panel + std::size_t(kk) * kNr;
-        std::uint32_t j = 0;
-        for (; j < nr; ++j)
-            dst[j] = src[j];
-        for (; j < kNr; ++j)
-            dst[j] = 0.f;
-    }
-}
-
-#if RSN_GEMM_AVX512
-
-/**
- * 8x32 AVX-512 microkernel: LHS from a packed panel, RHS read with
- * row stride @p rstride (the operand itself for full blocks, the
- * zero-padded tail panel with rstride == kNr otherwise). Adds the
- * partial product into acc for the valid mr x nr window.
- */
-void
-microKernel(const float *lp, const float *rp, std::uint32_t rstride,
-            std::uint32_t k, float *acc, std::uint32_t ldc,
-            std::uint32_t mr, std::uint32_t nr)
-{
-    __m512 c[kMr][2];
-    for (std::uint32_t ir = 0; ir < kMr; ++ir) {
-        c[ir][0] = _mm512_setzero_ps();
-        c[ir][1] = _mm512_setzero_ps();
-    }
-    std::uint32_t kk = 0;
-    for (; kk + 2 <= k; kk += 2) {
-        const __m512 b0 = _mm512_loadu_ps(rp);
-        const __m512 b1 = _mm512_loadu_ps(rp + 16);
-        const __m512 d0 = _mm512_loadu_ps(rp + rstride);
-        const __m512 d1 = _mm512_loadu_ps(rp + rstride + 16);
-        rp += 2 * std::size_t(rstride);
-        for (std::uint32_t ir = 0; ir < kMr; ++ir) {
-            const __m512 a0 = _mm512_set1_ps(lp[ir]);
-            c[ir][0] = _mm512_fmadd_ps(a0, b0, c[ir][0]);
-            c[ir][1] = _mm512_fmadd_ps(a0, b1, c[ir][1]);
-            const __m512 a1 = _mm512_set1_ps(lp[kMr + ir]);
-            c[ir][0] = _mm512_fmadd_ps(a1, d0, c[ir][0]);
-            c[ir][1] = _mm512_fmadd_ps(a1, d1, c[ir][1]);
-        }
-        lp += 2 * kMr;
-    }
-    for (; kk < k; ++kk) {
-        const __m512 b0 = _mm512_loadu_ps(rp);
-        const __m512 b1 = _mm512_loadu_ps(rp + 16);
-        rp += rstride;
-        for (std::uint32_t ir = 0; ir < kMr; ++ir) {
-            const __m512 a = _mm512_set1_ps(lp[ir]);
-            c[ir][0] = _mm512_fmadd_ps(a, b0, c[ir][0]);
-            c[ir][1] = _mm512_fmadd_ps(a, b1, c[ir][1]);
-        }
-        lp += kMr;
-    }
-    if (nr == kNr) {
-        for (std::uint32_t ir = 0; ir < mr; ++ir) {
-            float *row = acc + std::size_t(ir) * ldc;
-            _mm512_storeu_ps(
-                row, _mm512_add_ps(_mm512_loadu_ps(row), c[ir][0]));
-            _mm512_storeu_ps(
-                row + 16,
-                _mm512_add_ps(_mm512_loadu_ps(row + 16), c[ir][1]));
-        }
-    } else {
-        alignas(64) float t[kMr][kNr];
-        for (std::uint32_t ir = 0; ir < kMr; ++ir) {
-            _mm512_store_ps(t[ir], c[ir][0]);
-            _mm512_store_ps(t[ir] + 16, c[ir][1]);
-        }
-        for (std::uint32_t ir = 0; ir < mr; ++ir)
-            for (std::uint32_t j = 0; j < nr; ++j)
-                acc[std::size_t(ir) * ldc + j] += t[ir][j];
-    }
-}
-
-#elif RSN_GEMM_AVX2
-
-/**
- * 8x16 AVX2+FMA microkernel: LHS from a packed panel, RHS read with
- * row stride @p rstride (the operand itself for full blocks, the
- * zero-padded tail panel with rstride == kNr otherwise). Adds the
- * partial product into acc for the valid mr x nr window.
- */
-void
-microKernel(const float *lp, const float *rp, std::uint32_t rstride,
-            std::uint32_t k, float *acc, std::uint32_t ldc,
-            std::uint32_t mr, std::uint32_t nr)
-{
-    __m256 c[kMr][2];
-    for (std::uint32_t ir = 0; ir < kMr; ++ir) {
-        c[ir][0] = _mm256_setzero_ps();
-        c[ir][1] = _mm256_setzero_ps();
-    }
-    std::uint32_t kk = 0;
-    for (; kk + 2 <= k; kk += 2) {
-        const __m256 b0 = _mm256_loadu_ps(rp);
-        const __m256 b1 = _mm256_loadu_ps(rp + 8);
-        const __m256 d0 = _mm256_loadu_ps(rp + rstride);
-        const __m256 d1 = _mm256_loadu_ps(rp + rstride + 8);
-        rp += 2 * std::size_t(rstride);
-        for (std::uint32_t ir = 0; ir < kMr; ++ir) {
-            const __m256 a0 = _mm256_broadcast_ss(lp + ir);
-            c[ir][0] = _mm256_fmadd_ps(a0, b0, c[ir][0]);
-            c[ir][1] = _mm256_fmadd_ps(a0, b1, c[ir][1]);
-            const __m256 a1 = _mm256_broadcast_ss(lp + kMr + ir);
-            c[ir][0] = _mm256_fmadd_ps(a1, d0, c[ir][0]);
-            c[ir][1] = _mm256_fmadd_ps(a1, d1, c[ir][1]);
-        }
-        lp += 2 * kMr;
-    }
-    for (; kk < k; ++kk) {
-        const __m256 b0 = _mm256_loadu_ps(rp);
-        const __m256 b1 = _mm256_loadu_ps(rp + 8);
-        rp += rstride;
-        for (std::uint32_t ir = 0; ir < kMr; ++ir) {
-            const __m256 a = _mm256_broadcast_ss(lp + ir);
-            c[ir][0] = _mm256_fmadd_ps(a, b0, c[ir][0]);
-            c[ir][1] = _mm256_fmadd_ps(a, b1, c[ir][1]);
-        }
-        lp += kMr;
-    }
-    if (nr == kNr) {
-        for (std::uint32_t ir = 0; ir < mr; ++ir) {
-            float *row = acc + std::size_t(ir) * ldc;
-            _mm256_storeu_ps(
-                row, _mm256_add_ps(_mm256_loadu_ps(row), c[ir][0]));
-            _mm256_storeu_ps(
-                row + 8,
-                _mm256_add_ps(_mm256_loadu_ps(row + 8), c[ir][1]));
-        }
-    } else {
-        alignas(32) float t[kMr][kNr];
-        for (std::uint32_t ir = 0; ir < kMr; ++ir) {
-            _mm256_store_ps(t[ir], c[ir][0]);
-            _mm256_store_ps(t[ir] + 8, c[ir][1]);
-        }
-        for (std::uint32_t ir = 0; ir < mr; ++ir)
-            for (std::uint32_t j = 0; j < nr; ++j)
-                acc[std::size_t(ir) * ldc + j] += t[ir][j];
-    }
-}
-
-#elif RSN_GEMM_NEON
-
-/** 8x8 NEON microkernel; same contract as the AVX2 variant. */
-void
-microKernel(const float *lp, const float *rp, std::uint32_t rstride,
-            std::uint32_t k, float *acc, std::uint32_t ldc,
-            std::uint32_t mr, std::uint32_t nr)
-{
-    float32x4_t c[kMr][2];
-    for (std::uint32_t ir = 0; ir < kMr; ++ir) {
-        c[ir][0] = vdupq_n_f32(0.f);
-        c[ir][1] = vdupq_n_f32(0.f);
-    }
-    for (std::uint32_t kk = 0; kk < k; ++kk) {
-        const float32x4_t b0 = vld1q_f32(rp);
-        const float32x4_t b1 = vld1q_f32(rp + 4);
-        rp += rstride;
-        for (std::uint32_t ir = 0; ir < kMr; ++ir) {
-            const float32x4_t a = vdupq_n_f32(lp[ir]);
-            c[ir][0] = vfmaq_f32(c[ir][0], a, b0);
-            c[ir][1] = vfmaq_f32(c[ir][1], a, b1);
-        }
-        lp += kMr;
-    }
-    if (nr == kNr) {
-        for (std::uint32_t ir = 0; ir < mr; ++ir) {
-            float *row = acc + std::size_t(ir) * ldc;
-            vst1q_f32(row, vaddq_f32(vld1q_f32(row), c[ir][0]));
-            vst1q_f32(row + 4, vaddq_f32(vld1q_f32(row + 4), c[ir][1]));
-        }
-    } else {
-        alignas(16) float t[kMr][kNr];
-        for (std::uint32_t ir = 0; ir < kMr; ++ir) {
-            vst1q_f32(t[ir], c[ir][0]);
-            vst1q_f32(t[ir] + 4, c[ir][1]);
-        }
-        for (std::uint32_t ir = 0; ir < mr; ++ir)
-            for (std::uint32_t j = 0; j < nr; ++j)
-                acc[std::size_t(ir) * ldc + j] += t[ir][j];
-    }
-}
-
-#else
-
-/**
- * Portable 2x16 microkernel: restrict-qualified accumulator-array form
- * the compiler auto-vectorizes. Same contract as the SIMD variants.
- */
-void
-microKernel(const float *__restrict lp, const float *__restrict rp,
-            std::uint32_t rstride, std::uint32_t k, float *__restrict acc,
-            std::uint32_t ldc, std::uint32_t mr, std::uint32_t nr)
-{
-    float c[kMr][kNr] = {};
-    for (std::uint32_t kk = 0; kk < k; ++kk) {
-        for (std::uint32_t ir = 0; ir < kMr; ++ir) {
-            const float a = lp[ir];
-            for (std::uint32_t j = 0; j < kNr; ++j)
-                c[ir][j] += a * rp[j];
-        }
-        rp += rstride;
-        lp += kMr;
-    }
-    if (nr == kNr) {
-        for (std::uint32_t ir = 0; ir < mr; ++ir) {
-            float *__restrict row = acc + std::size_t(ir) * ldc;
-            for (std::uint32_t j = 0; j < kNr; ++j)
-                row[j] += c[ir][j];
-        }
-    } else {
-        for (std::uint32_t ir = 0; ir < mr; ++ir)
-            for (std::uint32_t j = 0; j < nr; ++j)
-                acc[std::size_t(ir) * ldc + j] += c[ir][j];
-    }
-}
-
-#endif
-
-} // namespace
-
-const char *
-gemmKernelName()
-{
-#if RSN_GEMM_AVX512
-    return "avx512";
-#elif RSN_GEMM_AVX2
-    return "avx2-fma";
-#elif RSN_GEMM_NEON
-    return "neon";
-#else
-    return "portable";
-#endif
-}
 
 void
 gemmRefAccumulate(float *acc, const float *lhs, const float *rhs,
@@ -333,40 +16,6 @@ gemmRefAccumulate(float *acc, const float *lhs, const float *rhs,
             const float *rrow = rhs + std::size_t(kk) * n;
             for (std::uint32_t j = 0; j < n; ++j)
                 dst[j] += av * rrow[j];
-        }
-    }
-}
-
-void
-gemmAccumulate(GemmScratch &scratch, float *acc, const float *lhs,
-               const float *rhs, std::uint32_t m, std::uint32_t k,
-               std::uint32_t n)
-{
-    if (m == 0 || k == 0 || n == 0)
-        return;
-
-    const std::uint32_t mb = (m + kMr - 1) / kMr;
-    float *lpanel = scratch.lhsPanel(std::uint64_t(mb) * kMr * k);
-    packLhs(lpanel, lhs, m, k);
-
-    // Full-width column blocks read RHS directly (see packRhsTail).
-    const std::uint32_t n_full = n - n % kNr;
-    for (std::uint32_t j0 = 0; j0 < n_full; j0 += kNr) {
-        for (std::uint32_t ib = 0; ib < mb; ++ib) {
-            const std::uint32_t i0 = ib * kMr;
-            microKernel(lpanel + std::size_t(ib) * kMr * k, rhs + j0, n,
-                        k, acc + std::size_t(i0) * n + j0, n,
-                        std::min(kMr, m - i0), kNr);
-        }
-    }
-    if (n_full < n) {
-        float *rpanel = scratch.rhsPanel(std::uint64_t(kNr) * k);
-        packRhsTail(rpanel, rhs, k, n, n_full);
-        for (std::uint32_t ib = 0; ib < mb; ++ib) {
-            const std::uint32_t i0 = ib * kMr;
-            microKernel(lpanel + std::size_t(ib) * kMr * k, rpanel, kNr,
-                        k, acc + std::size_t(i0) * n + n_full, n,
-                        std::min(kMr, m - i0), n - n_full);
         }
     }
 }

@@ -1,35 +1,21 @@
 /**
  * @file
- * Blocked, vectorized FP32 GEMM microkernel for the MME's functional
- * path (acc += lhs @ rhs on row-major tiles).
+ * FP32 GEMM entry points for the MME's functional path (acc += lhs @
+ * rhs on row-major tiles), plus the packing scratch they share.
  *
- * The MME used to compute tile products with a scalar i/k/j triple loop;
- * once the PR 3 datapath went zero-copy, that loop dominated functional
- * end-to-end time. This module replaces it with the classic three-piece
- * structure of a CPU GEMM:
+ * The blocked, vectorized implementations live in the per-ISA kernel
+ * TUs (src/fu/kernels/kernel_impl.inc) and are selected at runtime
+ * through the kernel registry (fu/kernel_registry.hh): gemmAccumulate
+ * below is a thin inline wrapper over the active KernelTable. The
+ * classic three-piece structure — MR-interleaved LHS packing, a
+ * register-blocked FMA microkernel per ISA (AVX-512 8x32, AVX2+FMA
+ * 8x16, NEON 8x8, auto-vectorized portable 2x16), RHS packed only for
+ * the ragged n%NR tail — is documented in the .inc.
  *
- *  - a **packing layer** that copies operands into cache-resident,
- *    alignment-guaranteed scratch panels (pooled tiles are 32-byte
- *    aligned): the LHS always, in MR-row-interleaved layout zero-padded
- *    to the block height, so the inner kernel reads one contiguous line
- *    per k step with no row-edge branches; the RHS only for the ragged
- *    n%NR column tail, zero-padded to NR — full blocks read the
- *    row-major operand directly, which measured faster than paying the
- *    pack memcpy on the L2-resident tile shapes the datapath moves.
- *    Panels live in pooled tiles owned by a GemmScratch that each MME
- *    FU reuses across reps/k_steps — steady state packs into the same
- *    two buffers forever, allocating nothing;
- *  - a **register-blocked inner kernel** computing an MR x NR output
- *    block with FMA accumulation. Four compiled-in variants behind one
- *    entry point: explicit AVX-512 (8x32) and AVX2+FMA (8x16, K
- *    unrolled 2-deep) and NEON (8x8) kernels when the build enables
- *    RSN_SIMD and the target supports them, and a portable
- *    restrict-qualified form (2x16) the compiler auto-vectorizes
- *    otherwise;
- *  - a **scalar reference kernel** (gemmRefAccumulate) kept as the
- *    semantic baseline: identical loop order to the pre-blocked MME, no
- *    reassociation. Tests pin the blocked/SIMD kernels against it over
- *    randomized shapes.
+ * This TU keeps the **scalar reference kernel** (gemmRefAccumulate):
+ * identical loop order to the pre-blocked MME, no reassociation. It is
+ * the semantic baseline the property tests pin every table against,
+ * and the `scalar` table's GEMM entry (the exact reference path).
  *
  * ## FP tolerance policy
  *
@@ -49,13 +35,10 @@
 
 #include <cstdint>
 
+#include "fu/kernel_registry.hh"
 #include "sim/tile_pool.hh"
 
 namespace rsn::fu {
-
-/** Compiled-in microkernel variant: "avx512", "avx2-fma", "neon", or
- *  "portable". */
-const char *gemmKernelName();
 
 /**
  * Scalar reference kernel: acc(m x n) += lhs(m x k) @ rhs(k x n), all
@@ -112,14 +95,18 @@ class GemmScratch
 };
 
 /**
- * Blocked accumulating matrix product: acc(m x n) += lhs(m x k) @
- * rhs(k x n), row-major, packing through @p scratch. Any dimension may
- * be zero (no-op). See the file comment for the FP tolerance contract
- * relative to gemmRefAccumulate.
+ * Accumulating matrix product through the active kernel table:
+ * acc(m x n) += lhs(m x k) @ rhs(k x n), row-major, packing through
+ * @p scratch. Any dimension may be zero (no-op). See the file comment
+ * for the FP tolerance contract relative to gemmRefAccumulate.
  */
-void gemmAccumulate(GemmScratch &scratch, float *acc, const float *lhs,
-                    const float *rhs, std::uint32_t m, std::uint32_t k,
-                    std::uint32_t n);
+inline void
+gemmAccumulate(GemmScratch &scratch, float *acc, const float *lhs,
+               const float *rhs, std::uint32_t m, std::uint32_t k,
+               std::uint32_t n)
+{
+    kernel::active().gemm_accumulate(scratch, acc, lhs, rhs, m, k, n);
+}
 
 } // namespace rsn::fu
 

@@ -1,0 +1,377 @@
+#include "fu/kernel_registry.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hh"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define RSN_PROBE_X86 1
+#endif
+
+namespace rsn::kernel {
+
+// Per-variant tables, each defined in its own -march-scoped TU
+// (src/fu/kernels/). Which ones exist in this binary is decided by
+// CMakeLists.txt, which defines the matching RSN_KERNEL_HAVE_* macros
+// for this file only.
+namespace scalar {
+extern const KernelTable table;
+}
+namespace portable {
+extern const KernelTable table;
+}
+#ifdef RSN_KERNEL_HAVE_NEON
+namespace neon {
+extern const KernelTable table;
+}
+#endif
+#ifdef RSN_KERNEL_HAVE_AVX2
+namespace avx2 {
+extern const KernelTable table;
+}
+#endif
+#ifdef RSN_KERNEL_HAVE_AVX512
+namespace avx512 {
+extern const KernelTable table;
+}
+#endif
+
+const char *
+isaName(Isa isa)
+{
+    switch (isa) {
+      case Isa::Scalar: return "scalar";
+      case Isa::Portable: return "portable";
+      case Isa::Neon: return "neon";
+      case Isa::Avx2: return "avx2";
+      case Isa::Avx512: return "avx512";
+    }
+    return "unknown";
+}
+
+std::optional<Isa>
+isaFromName(std::string_view name)
+{
+    if (name == "scalar")
+        return Isa::Scalar;
+    if (name == "portable")
+        return Isa::Portable;
+    if (name == "neon")
+        return Isa::Neon;
+    if (name == "avx2")
+        return Isa::Avx2;
+    if (name == "avx512")
+        return Isa::Avx512;
+    return std::nullopt;
+}
+
+bool
+CpuProbe::supports(Isa isa) const
+{
+    switch (isa) {
+      case Isa::Scalar:
+      case Isa::Portable:
+        return true;
+      case Isa::Neon:
+        return neon;
+      case Isa::Avx2:
+        return cpu_avx2 && cpu_fma && os_ymm;
+      case Isa::Avx512:
+        return cpu_avx512f && os_ymm && os_zmm;
+    }
+    return false;
+}
+
+std::string
+CpuProbe::toString() const
+{
+#ifdef __ARM_NEON
+    return std::string("neon=") + (neon ? "1" : "0");
+#else
+    std::string s;
+    const auto bit = [&s](const char *name, bool v) {
+        if (!s.empty())
+            s += ' ';
+        s += name;
+        s += v ? "=1" : "=0";
+    };
+    bit("avx", cpu_avx);
+    bit("fma", cpu_fma);
+    bit("avx2", cpu_avx2);
+    bit("avx512f", cpu_avx512f);
+    bit("os_ymm", os_ymm);
+    bit("os_zmm", os_zmm);
+    return s;
+#endif
+}
+
+namespace {
+
+#ifdef RSN_PROBE_X86
+/** xgetbv(0) without requiring -mxsave on this TU: the raw opcode is
+ *  fine because we only execute it after cpuid reports OSXSAVE. */
+[[gnu::cold]] std::uint64_t
+xgetbv0()
+{
+    std::uint32_t eax, edx;
+    __asm__ volatile(".byte 0x0f, 0x01, 0xd0"  // xgetbv
+                     : "=a"(eax), "=d"(edx)
+                     : "c"(0));
+    return (std::uint64_t(edx) << 32) | eax;
+}
+#endif
+
+} // namespace
+
+CpuProbe
+probeCpu()
+{
+    CpuProbe p;
+#ifdef RSN_PROBE_X86
+    unsigned eax, ebx, ecx, edx;
+    if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+        constexpr unsigned kFma = 1u << 12;
+        constexpr unsigned kOsxsave = 1u << 27;
+        constexpr unsigned kAvx = 1u << 28;
+        p.cpu_fma = ecx & kFma;
+        p.cpu_avx = ecx & kAvx;
+        if (ecx & kOsxsave) {
+            const std::uint64_t xcr0 = xgetbv0();
+            // ymm needs x87+sse+avx state (bits 0..2); zmm additionally
+            // opmask+zmm_hi256+hi16_zmm (bits 5..7).
+            p.os_ymm = (xcr0 & 0x6) == 0x6;
+            p.os_zmm = p.os_ymm && (xcr0 & 0xe0) == 0xe0;
+        }
+    }
+    if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+        constexpr unsigned kAvx2 = 1u << 5;
+        constexpr unsigned kAvx512f = 1u << 16;
+        p.cpu_avx2 = ebx & kAvx2;
+        p.cpu_avx512f = ebx & kAvx512f;
+    }
+#endif
+#ifdef __ARM_NEON
+    p.neon = true;
+#endif
+    return p;
+}
+
+Isa
+chooseBest(const CpuProbe &probe, const std::vector<Isa> &compiled_in)
+{
+    for (Isa isa : compiled_in) {
+        if (isa == Isa::Scalar)
+            continue;  // exact reference is opt-in only
+        if (probe.supports(isa))
+            return isa;
+    }
+    return Isa::Portable;
+}
+
+namespace {
+
+bool
+contains(const std::vector<Isa> &compiled_in, Isa isa)
+{
+    for (Isa have : compiled_in)
+        if (have == isa)
+            return true;
+    return false;
+}
+
+} // namespace
+
+StartupChoice
+resolveStartupIsa(const char *rsn_isa, const char *rsn_nonlinear,
+                  const CpuProbe &probe,
+                  const std::vector<Isa> &compiled_in)
+{
+    const Isa best = chooseBest(probe, compiled_in);
+
+    // RSN_ISA wins; the deprecated alias is only consulted when unset.
+    if (rsn_isa && *rsn_isa) {
+        const std::optional<Isa> want = isaFromName(rsn_isa);
+        std::string why;
+        if (!want) {
+            why = "unknown RSN_ISA value '" + std::string(rsn_isa) +
+                  "' (want avx512|avx2|neon|portable|scalar)";
+        } else if (!contains(compiled_in, *want)) {
+            why = "RSN_ISA=" + std::string(rsn_isa) +
+                  " is not compiled into this binary";
+        } else if (!probe.supports(*want)) {
+            why = "RSN_ISA=" + std::string(rsn_isa) +
+                  " is not executable on this CPU (" + probe.toString() +
+                  ")";
+        } else {
+            return {*want, "env:RSN_ISA", {}};
+        }
+        return {best, "probe",
+                why + "; falling back to " + isaName(best)};
+    }
+
+    if (rsn_nonlinear && *rsn_nonlinear) {
+        if (std::strcmp(rsn_nonlinear, "exact") == 0) {
+            return {Isa::Scalar, "env:RSN_NONLINEAR",
+                    "RSN_NONLINEAR is deprecated; use RSN_ISA=scalar for "
+                    "the exact reference kernels"};
+        }
+        if (std::strcmp(rsn_nonlinear, "simd") == 0) {
+            return {best, "env:RSN_NONLINEAR",
+                    "RSN_NONLINEAR is deprecated; the probed best table "
+                    "is already the default (RSN_ISA overrides)"};
+        }
+        return {best, "probe",
+                "unknown RSN_NONLINEAR value '" +
+                    std::string(rsn_nonlinear) +
+                    "' (deprecated; use RSN_ISA); falling back to " +
+                    isaName(best)};
+    }
+
+    return {best, "probe", {}};
+}
+
+Registry::Registry()
+{
+    // Best-first, scalar last, mirroring chooseBest's preference order.
+#ifdef RSN_KERNEL_HAVE_AVX512
+    tables_.push_back(&avx512::table);
+#endif
+#ifdef RSN_KERNEL_HAVE_AVX2
+    tables_.push_back(&avx2::table);
+#endif
+#ifdef RSN_KERNEL_HAVE_NEON
+    tables_.push_back(&neon::table);
+#endif
+    tables_.push_back(&portable::table);
+    tables_.push_back(&scalar::table);
+
+    probe_ = probeCpu();
+
+    std::vector<Isa> compiled_in;
+    for (const KernelTable *t : tables_)
+        compiled_in.push_back(t->isa);
+
+    const StartupChoice choice =
+        resolveStartupIsa(std::getenv("RSN_ISA"),
+                          std::getenv("RSN_NONLINEAR"), probe_,
+                          compiled_in);
+    if (!choice.warning.empty())
+        rsn_warn("%s", choice.warning.c_str());
+
+    for (const KernelTable *t : tables_)
+        if (t->isa == choice.isa)
+            active_ = t;
+    rsn_assert(active_ != nullptr, "startup ISA %s not in table list",
+               isaName(choice.isa));
+    source_ = choice.source;
+    detail::g_active = active_;
+}
+
+Registry &
+Registry::instance()
+{
+    static Registry r;
+    return r;
+}
+
+const KernelTable *
+Registry::find(std::string_view name) const
+{
+    for (const KernelTable *t : tables_)
+        if (name == t->name)
+            return t;
+    return nullptr;
+}
+
+Status
+Registry::select(std::string_view name, const char *source)
+{
+    const KernelTable *t = find(name);
+    if (!t) {
+        std::string known;
+        for (const KernelTable *have : tables_) {
+            if (!known.empty())
+                known += "|";
+            known += have->name;
+        }
+        return Status::error(StatusCode::InvalidConfig,
+                             "unknown or not-compiled-in ISA '" +
+                                 std::string(name) + "' (have: " + known +
+                                 ")");
+    }
+    if (!probe_.supports(t->isa)) {
+        return Status::error(StatusCode::InvalidConfig,
+                             "ISA '" + std::string(name) +
+                                 "' is not executable on this CPU (" +
+                                 probe_.toString() + ")");
+    }
+    select(*t);
+    source_ = source;
+    return Status::success();
+}
+
+void
+Registry::select(const KernelTable &table)
+{
+    active_ = &table;
+    source_ = "override";
+    detail::g_active = active_;
+}
+
+bool
+Registry::selectable(Isa isa) const
+{
+    if (!probe_.supports(isa))
+        return false;
+    for (const KernelTable *t : tables_)
+        if (t->isa == isa)
+            return true;
+    return false;
+}
+
+namespace detail {
+
+const KernelTable *g_active = nullptr;
+
+const KernelTable &
+activeSlow()
+{
+    Registry::instance();  // ctor publishes g_active
+    return *g_active;
+}
+
+} // namespace detail
+
+ScopedIsaOverride::ScopedIsaOverride(Isa isa)
+{
+    Registry &r = Registry::instance();
+    prev_ = &r.active();
+    prev_source_ = r.selectionSource();
+    const KernelTable *t = nullptr;
+    for (const KernelTable *have : r.tables())
+        if (have->isa == isa)
+            t = have;
+    rsn_assert(t != nullptr && r.probe().supports(isa),
+               "ScopedIsaOverride: %s is not selectable here",
+               isaName(isa));
+    r.select(*t);
+}
+
+ScopedIsaOverride::ScopedIsaOverride(const KernelTable &table)
+{
+    Registry &r = Registry::instance();
+    prev_ = &r.active();
+    prev_source_ = r.selectionSource();
+    r.select(table);
+}
+
+ScopedIsaOverride::~ScopedIsaOverride()
+{
+    Registry &r = Registry::instance();
+    r.select(*prev_);
+    r.source_ = prev_source_;
+}
+
+} // namespace rsn::kernel

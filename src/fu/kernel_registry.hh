@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Runtime kernel dispatch: one binary for every microarch (ISSUE 7).
+ *
+ * Until this PR the payload kernels — the blocked GEMM microkernel
+ * (fu/gemm_kernel.hh) and the vectorized nonlinear layer — were
+ * compile-time selected by the `RSN_SIMD` CMake option plus whatever
+ * `-march` the build carried, so a production deployment needed one
+ * build directory per microarchitecture and the default artifact paid
+ * ~3x over AVX-512 for identical math. This module replaces that with
+ * startup selection from a single fat binary:
+ *
+ *  - every ISA variant compiles as its **own translation unit** under
+ *    per-TU `-march` flags (src/fu/kernels/kernels_<isa>.cc, wired in
+ *    CMakeLists.txt), so the default build contains them all and no
+ *    vector instruction leaks into baseline-ISA code;
+ *  - each variant exports one **KernelTable** of plain function
+ *    pointers covering every runtime-dispatched payload operation:
+ *    GEMM accumulate, softmax / GELU / LayerNorm, and tile transpose;
+ *  - the **Registry** probes cpuid at startup — including the xgetbv
+ *    check that the OS actually saves ymm/zmm state — and activates
+ *    the best table the CPU supports, overridable with
+ *    `RSN_ISA=avx512|avx2|neon|portable|scalar` or programmatically
+ *    (rsn-sim `--isa`, ScopedIsaOverride in tests and benches).
+ *
+ * The `scalar` table is the **exact reference path**: the pre-blocked
+ * scalar GEMM loop (fu::gemmRefAccumulate) and the exact libm
+ * nonlinear kernels (fu/nonlinear.hh). It is what the golden numeric
+ * tier runs and what property tests compare every other table against;
+ * it is never auto-selected by the probe. This retires the old
+ * separate nonlinear mode switch (`setNonlinearMode` /
+ * `ScopedNonlinearMode` / `RSN_NONLINEAR`): exact-vs-simd is now just
+ * scalar-vs-any-other-table through the same registry. `RSN_NONLINEAR`
+ * survives as a deprecated alias that warns once (`exact` selects the
+ * scalar table, `simd` the probed best).
+ *
+ * ## Dispatch cost
+ *
+ * The table call replaces calls that were already out of line at
+ * microkernel-block / whole-tile granularity (an indirect call per
+ * gemmAccumulate / per fused-operator segment), so dispatch overhead
+ * is noise. `active()` is one pointer load plus a never-taken null
+ * branch; probe/selection code is `[[gnu::cold]]` so it cannot starve
+ * the LTO inline budget of the hot paths (the PR 6 lesson).
+ *
+ * ## Numerics
+ *
+ * Table choice moves *payload values only*, never simulated time: the
+ * golden tick counts are bit-exact under every table
+ * (tests/lib/test_golden_e2e.cc). Transpose is pure data movement and
+ * bit-identical across tables; GEMM and the nonlinear operators follow
+ * the documented tolerance policy vs the scalar reference
+ * (fu/gemm_kernel.hh, docs/datapath.md).
+ */
+
+#ifndef RSN_FU_KERNEL_REGISTRY_HH
+#define RSN_FU_KERNEL_REGISTRY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hh"
+
+namespace rsn::fu {
+class GemmScratch;
+}
+
+namespace rsn::kernel {
+
+/** Kernel-table variants, worst to best. Which ones exist in a given
+ *  binary depends on the target architecture (CMakeLists.txt); Scalar
+ *  and Portable are always compiled in. */
+enum class Isa : std::uint8_t {
+    Scalar = 0,  ///< exact reference (scalar GEMM loop, libm nonlinear)
+    Portable,    ///< auto-vectorized baseline-ISA kernels
+    Neon,        ///< aarch64 NEON register kernels
+    Avx2,        ///< x86 AVX2+FMA register kernels
+    Avx512,      ///< x86 AVX-512F register kernels
+};
+inline constexpr std::size_t kNumIsas = 5;
+
+/** Stable lowercase name: "scalar", "portable", "neon", "avx2",
+ *  "avx512" (the RSN_ISA / --isa vocabulary). */
+const char *isaName(Isa isa);
+
+/** Parse an ISA name; nullopt for anything not in the vocabulary. */
+std::optional<Isa> isaFromName(std::string_view name);
+
+/**
+ * One ISA variant's dispatch table: plain function pointers, filled in
+ * by that variant's translation unit (src/fu/kernels/). All entries
+ * are always non-null. Contracts match the functions they replace:
+ * gemm_accumulate is fu/gemm_kernel.hh's blocked product (tolerance
+ * policy there), the row-wise operators follow fu/nonlinear.hh
+ * including the rows==0 / cols==0 no-op guards, and transpose writes
+ * dst(cols x rows) = src(rows x cols)^T — pure data movement,
+ * bit-identical across every table, dst must not alias src.
+ */
+struct KernelTable {
+    Isa isa;
+    const char *name;  ///< isaName(isa)
+    /** True only for the scalar table: results are the exact reference
+     *  semantics (golden numeric tier, property-test baseline). */
+    bool exact;
+
+    void (*gemm_accumulate)(fu::GemmScratch &scratch, float *acc,
+                            const float *lhs, const float *rhs,
+                            std::uint32_t m, std::uint32_t k,
+                            std::uint32_t n);
+    void (*softmax_rows)(float *tile, std::uint32_t rows,
+                         std::uint32_t cols);
+    void (*gelu_inplace)(float *tile, std::size_t n);
+    void (*layernorm_rows)(float *tile, std::uint32_t rows,
+                           std::uint32_t cols);
+    void (*transpose)(float *dst, const float *src, std::uint32_t rows,
+                      std::uint32_t cols);
+};
+
+/**
+ * What the startup probe saw. On x86 this is CPUID feature bits plus
+ * the xgetbv(0) OS-state check — a CPU can support AVX-512 while the
+ * OS (or a VM) does not save zmm state, in which case executing an
+ * AVX-512 instruction faults, so os_zmm gates cpu_avx512f. Plain data
+ * so tests can fabricate probes (probe mocking).
+ */
+struct CpuProbe {
+    bool cpu_avx = false;      ///< CPUID.1:ECX.AVX
+    bool cpu_fma = false;      ///< CPUID.1:ECX.FMA
+    bool cpu_avx2 = false;     ///< CPUID.7:EBX.AVX2
+    bool cpu_avx512f = false;  ///< CPUID.7:EBX.AVX512F
+    bool os_ymm = false;       ///< XCR0 xmm+ymm state enabled
+    bool os_zmm = false;       ///< XCR0 opmask+zmm state enabled
+    bool neon = false;         ///< aarch64 baseline
+
+    /** Can this CPU/OS execute the given variant? (Scalar/Portable:
+     *  always.) Says nothing about what is compiled in. */
+    bool supports(Isa isa) const;
+
+    /** One-line summary for logs / RunReport, e.g.
+     *  "avx=1 fma=1 avx2=1 avx512f=1 os_ymm=1 os_zmm=1". */
+    std::string toString() const;
+};
+
+/** Probe the machine we are running on (cold; called once). */
+[[gnu::cold]] CpuProbe probeCpu();
+
+/**
+ * Startup selection policy as a pure function, unit-testable without
+ * the process-wide singleton: RSN_ISA wins over the deprecated
+ * RSN_NONLINEAR alias (exact -> scalar, simd -> probe), and any
+ * unknown / not-compiled-in / unsupported-by-CPU request falls back to
+ * the probed best with a warning. Pass null for unset variables.
+ * @p compiled_in is the Isa set available in this binary, best first.
+ */
+struct StartupChoice {
+    Isa isa;
+    const char *source;   ///< "probe", "env:RSN_ISA", "env:RSN_NONLINEAR"
+    std::string warning;  ///< empty, or why a request was ignored
+};
+StartupChoice resolveStartupIsa(const char *rsn_isa,
+                                const char *rsn_nonlinear,
+                                const CpuProbe &probe,
+                                const std::vector<Isa> &compiled_in);
+
+/** Best CPU-supported entry of @p compiled_in, never Scalar (the exact
+ *  reference is opt-in only). Falls back to Portable. */
+Isa chooseBest(const CpuProbe &probe, const std::vector<Isa> &compiled_in);
+
+namespace detail {
+/** Active-table pointer behind active(); set eagerly when the Registry
+ *  first initializes, null only before that. */
+extern const KernelTable *g_active;
+[[gnu::cold]] const KernelTable &activeSlow();
+} // namespace detail
+
+/**
+ * The active dispatch table — the hot accessor the MME / Mem FUs call
+ * through. One pointer load; the null branch is taken at most once per
+ * process (first touch before any explicit Registry use).
+ */
+inline const KernelTable &
+active()
+{
+    const KernelTable *t = detail::g_active;
+    if (t) [[likely]]
+        return *t;
+    return detail::activeSlow();
+}
+
+/**
+ * Process-wide kernel selection. Functional runs are single-threaded
+ * (one engine drives every FU), so selection is not synchronized;
+ * select at startup / between runs, not mid-run.
+ */
+class Registry
+{
+  public:
+    /** The singleton; first use probes cpuid and applies RSN_ISA /
+     *  the deprecated RSN_NONLINEAR alias. */
+    static Registry &instance();
+
+    /** Currently selected table (same object active() dereferences). */
+    const KernelTable &active() const { return *active_; }
+
+    /** Compiled-in tables, best first (ends scalar). */
+    const std::vector<const KernelTable *> &tables() const
+    {
+        return tables_;
+    }
+
+    /** Compiled-in table by name; null for unknown or not compiled in. */
+    const KernelTable *find(std::string_view name) const;
+
+    /**
+     * Select by name (rsn-sim --isa). Strict, unlike the env fallback:
+     * an unknown name, a variant this binary does not contain, or one
+     * this CPU cannot execute returns InvalidConfig and leaves the
+     * selection unchanged. @p source becomes selectionSource() on
+     * success (the driver passes "cli:--isa").
+     */
+    [[gnu::cold]] Status select(std::string_view name,
+                                const char *source = "override");
+
+    /** Select a compiled-in table directly (ScopedIsaOverride). */
+    [[gnu::cold]] void select(const KernelTable &table);
+
+    /** True when @p isa is compiled in AND this CPU can execute it. */
+    bool selectable(Isa isa) const;
+
+    /** What the startup probe saw. */
+    const CpuProbe &probe() const { return probe_; }
+
+    /** How the active table was chosen: "probe", "env:RSN_ISA",
+     *  "env:RSN_NONLINEAR", or "override". */
+    const char *selectionSource() const { return source_; }
+
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+  private:
+    friend class ScopedIsaOverride;  // restores source_ on unwind
+
+    [[gnu::cold]] Registry();
+
+    std::vector<const KernelTable *> tables_;
+    CpuProbe probe_;
+    const KernelTable *active_ = nullptr;
+    const char *source_ = "probe";
+};
+
+/**
+ * RAII selection pin for tests and benches: selects @p isa (which must
+ * be selectable — compiled in and CPU-supported; guard with
+ * Registry::selectable() when iterating variants on unknown hardware)
+ * and restores the previous table and selection source on destruction.
+ */
+class ScopedIsaOverride
+{
+  public:
+    explicit ScopedIsaOverride(Isa isa);
+    explicit ScopedIsaOverride(const KernelTable &table);
+    ~ScopedIsaOverride();
+    ScopedIsaOverride(const ScopedIsaOverride &) = delete;
+    ScopedIsaOverride &operator=(const ScopedIsaOverride &) = delete;
+
+  private:
+    const KernelTable *prev_;
+    const char *prev_source_;
+};
+
+} // namespace rsn::kernel
+
+#endif // RSN_FU_KERNEL_REGISTRY_HH

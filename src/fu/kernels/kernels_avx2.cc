@@ -1,0 +1,16 @@
+/**
+ * @file
+ * AVX2+FMA kernel table. Compiled with "-mavx2 -mfma" scoped to this
+ * TU only (CMakeLists.txt); selectable whenever cpuid reports AVX2 and
+ * FMA with ymm state OS-enabled.
+ */
+
+#if !defined(__AVX2__) || !defined(__FMA__)
+#error "kernels_avx2.cc requires -mavx2 -mfma (per-TU flags)"
+#endif
+
+#define RSN_KERNEL_VARIANT_AVX2 1
+#define RSN_KERNEL_NS avx2
+#define RSN_KERNEL_ISA_ENUM ::rsn::kernel::Isa::Avx2
+#define RSN_KERNEL_NAME_STR "avx2"
+#include "fu/kernels/kernel_impl.inc"

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * AVX-512F kernel table. Compiled with "-mavx512f -mavx2 -mfma" scoped
+ * to this TU only (CMakeLists.txt) — the #error guard catches a build
+ * that lost the per-source flags, which would otherwise quietly produce
+ * a mislabelled table. Runtime safety is the Registry's job: this table
+ * is only selectable when cpuid reports AVX-512F *and* xgetbv shows the
+ * OS saving zmm state.
+ */
+
+#if !defined(__AVX512F__) || !defined(__AVX2__) || !defined(__FMA__)
+#error "kernels_avx512.cc requires -mavx512f -mavx2 -mfma (per-TU flags)"
+#endif
+
+#define RSN_KERNEL_VARIANT_AVX512 1
+#define RSN_KERNEL_NS avx512
+#define RSN_KERNEL_ISA_ENUM ::rsn::kernel::Isa::Avx512
+#define RSN_KERNEL_NAME_STR "avx512"
+#include "fu/kernels/kernel_impl.inc"

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Exact-scalar reference table: the one KernelTable whose results are
+ * the *reference semantics*, not an approximation. GEMM is the
+ * pre-blocked scalar loop (fu::gemmRefAccumulate), the nonlinear
+ * operators are the exact libm kernels (fu/nonlinear.hh — erf GELU,
+ * libm exp softmax, double-accumulation LayerNorm), and transpose is
+ * the naive scalar loop. Property tests compare every other table
+ * against this one; the golden numeric tier runs it; the probe never
+ * auto-selects it (RSN_ISA=scalar / --isa scalar / RSN_NONLINEAR=exact
+ * opt in).
+ *
+ * This TU replaces the retired NonlinearMode::Exact runtime switch:
+ * "exact mode" is now simply this table being active.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fu/gemm_kernel.hh"
+#include "fu/kernel_registry.hh"
+#include "fu/nonlinear.hh"
+
+namespace rsn::kernel::scalar {
+
+namespace {
+
+void
+gemmAccumulateImpl(fu::GemmScratch &, float *acc, const float *lhs,
+                   const float *rhs, std::uint32_t m, std::uint32_t k,
+                   std::uint32_t n)
+{
+    fu::gemmRefAccumulate(acc, lhs, rhs, m, k, n);
+}
+
+void
+softmaxRowsImpl(float *tile, std::uint32_t rows, std::uint32_t cols)
+{
+    fu::softmaxRows(tile, rows, cols);
+}
+
+void
+geluInplaceImpl(float *tile, std::size_t n)
+{
+    fu::geluInplace(tile, n);
+}
+
+void
+layernormRowsImpl(float *tile, std::uint32_t rows, std::uint32_t cols)
+{
+    fu::layernormRows(tile, rows, cols);
+}
+
+void
+transposeImpl(float *dst, const float *src, std::uint32_t rows,
+              std::uint32_t cols)
+{
+    for (std::uint32_t i = 0; i < rows; ++i)
+        for (std::uint32_t j = 0; j < cols; ++j)
+            dst[std::size_t(j) * rows + i] = src[std::size_t(i) * cols + j];
+}
+
+} // namespace
+
+extern const KernelTable table;
+const KernelTable table = {
+    Isa::Scalar,
+    "scalar",
+    /*exact=*/true,
+    &gemmAccumulateImpl,
+    &softmaxRowsImpl,
+    &geluInplaceImpl,
+    &layernormRowsImpl,
+    &transposeImpl,
+};
+
+} // namespace rsn::kernel::scalar

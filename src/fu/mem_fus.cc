@@ -3,8 +3,8 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "fu/kernel_registry.hh"
 #include "fu/nonlinear.hh"
-#include "fu/nonlinear_simd.hh"
 
 namespace rsn::fu {
 
@@ -163,12 +163,11 @@ MemBFu::loadPart(const isa::MemBUop &u, TileBuffer &buf)
             // Transposition is a transform: fill a fresh pooled tile
             // (the incoming chunk may be shared and stays immutable).
             sim::TileRef t = sim::TilePool::instance().acquire(c.elems());
-            const float *src = c.data.data();
-            float *dst = t.mutableData();
-            for (std::uint32_t i = 0; i < c.rows; ++i)
-                for (std::uint32_t j = 0; j < c.cols; ++j)
-                    dst[std::size_t(j) * c.rows + i] =
-                        src[std::size_t(i) * c.cols + j];
+            // Layout conversion through the active kernel table; every
+            // table's transpose is bit-identical (pure data movement),
+            // so the ISA choice cannot move payload values here.
+            kernel::active().transpose(t.mutableData(), c.data.data(),
+                                       c.rows, c.cols);
             buf.tile.append(std::move(t), c.elems());
         }
     } else {
@@ -262,9 +261,12 @@ MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
     // run segment by segment — copy-on-write per segment when a
     // producer still shares it (TileRef::ensureUnique), in place in the
     // steady state where this MemC solely owns the MME's output tiles.
-    // All of them go through the fu/nonlinear_simd.hh dispatch layer:
-    // the vectorized approximate kernels in the default mode, the exact
-    // scalar reference when NonlinearMode::Exact is selected.
+    // Softmax/GELU/LayerNorm go through the active kernel table
+    // (fu/kernel_registry.hh): vectorized approximate kernels under the
+    // probed default, the exact scalar reference when the `scalar`
+    // table is selected. Residual add and scale-shift are called
+    // directly — they have no approximate variant and are bit-identical
+    // under every table (fu/nonlinear.cc).
 
     if (u.add_residual) {
         sim::Chunk res = co_await in(ddr_).recv();
@@ -276,7 +278,7 @@ MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
             forEachOwnedSegment(
                 buf, [&](float *p, std::uint32_t rows,
                          std::uint32_t row_off) {
-                    addInplaceDispatch(
+                    addInplace(
                         p, rp + std::uint64_t(row_off) * buf.cols,
                         std::uint64_t(rows) * buf.cols);
                 });
@@ -297,7 +299,7 @@ MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
         if (buf.hasData())
             forEachOwnedSegment(buf, [&](float *p, std::uint32_t rows,
                                          std::uint32_t) {
-                softmaxRowsDispatch(p, rows, buf.cols);
+                kernel::active().softmax_rows(p, rows, buf.cols);
             });
         flops += elems * kSoftmaxFlopsPerElem;
     }
@@ -305,7 +307,8 @@ MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
         if (buf.hasData())
             forEachOwnedSegment(buf, [&](float *p, std::uint32_t rows,
                                          std::uint32_t) {
-                geluInplaceDispatch(p, std::uint64_t(rows) * buf.cols);
+                kernel::active().gelu_inplace(
+                    p, std::uint64_t(rows) * buf.cols);
             });
         flops += elems * kGeluFlopsPerElem;
     }
@@ -313,7 +316,7 @@ MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
         if (buf.hasData())
             forEachOwnedSegment(buf, [&](float *p, std::uint32_t rows,
                                          std::uint32_t) {
-                layernormRowsDispatch(p, rows, buf.cols);
+                kernel::active().layernorm_rows(p, rows, buf.cols);
             });
         flops += elems * kLayernormFlopsPerElem;
     }
@@ -340,8 +343,8 @@ MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
         const float *gamma = params.data.data();
         forEachOwnedSegment(buf, [&](float *p, std::uint32_t rows,
                                      std::uint32_t) {
-            scaleShiftRowsDispatch(p, rows, buf.cols, gamma,
-                                   gamma + params.cols);
+            scaleShiftRows(p, rows, buf.cols, gamma,
+                           gamma + params.cols);
         });
     }
 

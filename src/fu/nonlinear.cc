@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "common/log.hh"
-#include "fu/nonlinear_simd.hh"
 
 namespace rsn::fu {
 
@@ -136,24 +135,10 @@ addInplace(std::vector<float> &tile, const float *other, std::size_t n)
     addInplace(tile.data(), other, n);
 }
 
-// The affine *Dispatch entry points (fu/nonlinear_simd.hh) are defined
-// here, in the baseline-ISA translation unit, on purpose: they are
-// mode-independent — scale-shift and residual add have no approximate
-// variant — and compiling them next to the kernels keeps their codegen
-// (and thus their results) identical to a direct call no matter which
-// ISA flags the SIMD TU was built with.
-
-void
-scaleShiftRowsDispatch(float *tile, std::uint32_t rows, std::uint32_t cols,
-                       const float *gamma, const float *beta)
-{
-    scaleShiftRows(tile, rows, cols, gamma, beta);
-}
-
-void
-addInplaceDispatch(float *tile, const float *other, std::size_t n)
-{
-    addInplace(tile, other, n);
-}
+// Scale-shift and residual add are deliberately NOT in the kernel
+// dispatch table: they are element-wise affine ops with no approximate
+// variant, and keeping their only definition in this baseline-ISA TU
+// guarantees bit-identical results under every selected table — a
+// table flip only ever moves GEMM/softmax/GELU/LayerNorm values.
 
 } // namespace rsn::fu

@@ -12,10 +12,11 @@
  * and reference checks.
  *
  * These are the **exact** kernels (libm erf/exp, double-precision
- * LayerNorm accumulation) and the semantic reference for the vectorized
- * approximate layer in fu/nonlinear_simd.hh, which MemC dispatches
- * through at runtime. Degenerate shapes (rows == 0 or cols == 0) are
- * no-ops for every row-wise operator.
+ * LayerNorm accumulation): the semantic reference for the vectorized
+ * approximate variants in the per-ISA kernel tables
+ * (fu/kernel_registry.hh), and the nonlinear entries of the `scalar`
+ * table MemC runs when the exact path is selected. Degenerate shapes
+ * (rows == 0 or cols == 0) are no-ops for every row-wise operator.
  */
 
 #ifndef RSN_FU_NONLINEAR_HH

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Unit tests for the runtime kernel dispatch registry (ISSUE 7):
+ * name vocabulary, cpuid-probe gating with fabricated probes (probe
+ * mocking — CpuProbe is plain data on purpose), the pure startup
+ * selection policy resolveStartupIsa (RSN_ISA over the deprecated
+ * RSN_NONLINEAR alias, lenient fallback on bad env values), the strict
+ * Registry::select used by rsn-sim --isa (unknown-name rejection), and
+ * the ScopedIsaOverride RAII contract. The per-kernel numerics live in
+ * test_gemm_kernel.cc / test_nonlinear_simd.cc; the end-to-end golden
+ * loop in tests/lib/test_golden_e2e.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fu/gemm_kernel.hh"
+#include "fu/kernel_registry.hh"
+#include "fu/nonlinear.hh"
+
+namespace {
+
+using namespace rsn;
+using kernel::CpuProbe;
+using kernel::Isa;
+
+/** An AVX-512 workstation with full OS state support. */
+CpuProbe
+fullAvx512Probe()
+{
+    CpuProbe p;
+    p.cpu_avx = p.cpu_fma = p.cpu_avx2 = p.cpu_avx512f = true;
+    p.os_ymm = p.os_zmm = true;
+    return p;
+}
+
+/** The x86 fat binary's table set, best first (CMakeLists.txt). */
+std::vector<Isa>
+x86CompiledIn()
+{
+    return {Isa::Avx512, Isa::Avx2, Isa::Portable, Isa::Scalar};
+}
+
+// ---------------------------------------------------------- vocabulary --
+
+TEST(KernelRegistry, IsaNamesRoundTrip)
+{
+    for (Isa isa : {Isa::Scalar, Isa::Portable, Isa::Neon, Isa::Avx2,
+                    Isa::Avx512}) {
+        auto back = kernel::isaFromName(kernel::isaName(isa));
+        ASSERT_TRUE(back.has_value()) << kernel::isaName(isa);
+        EXPECT_EQ(*back, isa);
+    }
+}
+
+TEST(KernelRegistry, UnknownNamesAreRejected)
+{
+    EXPECT_FALSE(kernel::isaFromName("").has_value());
+    EXPECT_FALSE(kernel::isaFromName("mips").has_value());
+    EXPECT_FALSE(kernel::isaFromName("AVX512").has_value());  // lowercase only
+    EXPECT_FALSE(kernel::isaFromName("avx2-fma").has_value());  // old name
+    EXPECT_FALSE(kernel::isaFromName("exact").has_value());  // RSN_NONLINEAR
+}
+
+// ------------------------------------------------------- probe gating --
+
+TEST(KernelRegistry, ScalarAndPortableNeedNoCpuFeatures)
+{
+    CpuProbe none;  // nothing supported at all
+    EXPECT_TRUE(none.supports(Isa::Scalar));
+    EXPECT_TRUE(none.supports(Isa::Portable));
+    EXPECT_FALSE(none.supports(Isa::Neon));
+    EXPECT_FALSE(none.supports(Isa::Avx2));
+    EXPECT_FALSE(none.supports(Isa::Avx512));
+}
+
+TEST(KernelRegistry, Avx2NeedsFmaAndOsYmmState)
+{
+    CpuProbe p = fullAvx512Probe();
+    EXPECT_TRUE(p.supports(Isa::Avx2));
+    // A CPU with AVX2 but no FMA (or masked by the hypervisor) must not
+    // get the FMA-built kernels.
+    p.cpu_fma = false;
+    EXPECT_FALSE(p.supports(Isa::Avx2));
+    // OS not saving ymm state (XCR0): executing AVX faults even though
+    // CPUID advertises it.
+    p = fullAvx512Probe();
+    p.os_ymm = false;
+    EXPECT_FALSE(p.supports(Isa::Avx2));
+}
+
+TEST(KernelRegistry, Avx512NeedsOsZmmState)
+{
+    // The classic VM / old-kernel case: CPUID says AVX512F but XCR0
+    // lacks opmask/zmm state, so zmm instructions would #UD.
+    CpuProbe p = fullAvx512Probe();
+    EXPECT_TRUE(p.supports(Isa::Avx512));
+    p.os_zmm = false;
+    EXPECT_FALSE(p.supports(Isa::Avx512));
+    EXPECT_TRUE(p.supports(Isa::Avx2)) << "ymm state is still fine";
+}
+
+TEST(KernelRegistry, ProbeToStringNamesEveryGate)
+{
+    const std::string s = fullAvx512Probe().toString();
+    EXPECT_NE(s.find("avx512f=1"), std::string::npos) << s;
+    EXPECT_NE(s.find("os_zmm=1"), std::string::npos) << s;
+}
+
+// --------------------------------------------------------- chooseBest --
+
+TEST(KernelRegistry, ChooseBestPicksFirstSupportedTable)
+{
+    EXPECT_EQ(kernel::chooseBest(fullAvx512Probe(), x86CompiledIn()),
+              Isa::Avx512);
+    CpuProbe no_zmm = fullAvx512Probe();
+    no_zmm.os_zmm = false;
+    EXPECT_EQ(kernel::chooseBest(no_zmm, x86CompiledIn()), Isa::Avx2);
+    CpuProbe none;
+    EXPECT_EQ(kernel::chooseBest(none, x86CompiledIn()), Isa::Portable);
+}
+
+TEST(KernelRegistry, ChooseBestNeverPicksScalar)
+{
+    // Even when scalar is the only compiled-in entry besides portable,
+    // the exact reference is opt-in only.
+    CpuProbe none;
+    EXPECT_EQ(kernel::chooseBest(none, {Isa::Scalar, Isa::Portable}),
+              Isa::Portable);
+    EXPECT_EQ(kernel::chooseBest(none, {Isa::Scalar}), Isa::Portable);
+}
+
+// --------------------------------------------- startup policy (env) ----
+
+TEST(KernelRegistry, StartupDefaultsToProbe)
+{
+    auto c = kernel::resolveStartupIsa(nullptr, nullptr,
+                                       fullAvx512Probe(),
+                                       x86CompiledIn());
+    EXPECT_EQ(c.isa, Isa::Avx512);
+    EXPECT_STREQ(c.source, "probe");
+    EXPECT_TRUE(c.warning.empty()) << c.warning;
+}
+
+TEST(KernelRegistry, RsnIsaSelectsAnyCompiledInTable)
+{
+    for (Isa want : x86CompiledIn()) {
+        auto c = kernel::resolveStartupIsa(kernel::isaName(want), nullptr,
+                                           fullAvx512Probe(),
+                                           x86CompiledIn());
+        EXPECT_EQ(c.isa, want);
+        EXPECT_STREQ(c.source, "env:RSN_ISA");
+        EXPECT_TRUE(c.warning.empty()) << c.warning;
+    }
+}
+
+TEST(KernelRegistry, UnknownRsnIsaFallsBackToProbeWithWarning)
+{
+    auto c = kernel::resolveStartupIsa("bogus", nullptr,
+                                       fullAvx512Probe(),
+                                       x86CompiledIn());
+    EXPECT_EQ(c.isa, Isa::Avx512);
+    EXPECT_STREQ(c.source, "probe");
+    EXPECT_NE(c.warning.find("bogus"), std::string::npos) << c.warning;
+}
+
+TEST(KernelRegistry, NotCompiledInRsnIsaFallsBackWithWarning)
+{
+    // neon is a real name but not in the x86 binary.
+    auto c = kernel::resolveStartupIsa("neon", nullptr,
+                                       fullAvx512Probe(),
+                                       x86CompiledIn());
+    EXPECT_EQ(c.isa, Isa::Avx512);
+    EXPECT_STREQ(c.source, "probe");
+    EXPECT_FALSE(c.warning.empty());
+}
+
+TEST(KernelRegistry, CpuUnsupportedRsnIsaFallsBackWithWarning)
+{
+    CpuProbe no_zmm = fullAvx512Probe();
+    no_zmm.os_zmm = false;
+    auto c = kernel::resolveStartupIsa("avx512", nullptr, no_zmm,
+                                       x86CompiledIn());
+    EXPECT_EQ(c.isa, Isa::Avx2) << "fall back to the probed best";
+    EXPECT_STREQ(c.source, "probe");
+    EXPECT_NE(c.warning.find("avx512"), std::string::npos) << c.warning;
+}
+
+TEST(KernelRegistry, DeprecatedRsnNonlinearAliasStillWorks)
+{
+    // RSN_NONLINEAR=exact meant the exact scalar nonlinear kernels;
+    // that is the scalar table now. "simd" meant the vectorized
+    // default, i.e. whatever the probe picks. Both warn (deprecation).
+    auto exact = kernel::resolveStartupIsa(nullptr, "exact",
+                                           fullAvx512Probe(),
+                                           x86CompiledIn());
+    EXPECT_EQ(exact.isa, Isa::Scalar);
+    EXPECT_STREQ(exact.source, "env:RSN_NONLINEAR");
+    EXPECT_NE(exact.warning.find("deprecated"), std::string::npos)
+        << exact.warning;
+
+    auto simd = kernel::resolveStartupIsa(nullptr, "simd",
+                                          fullAvx512Probe(),
+                                          x86CompiledIn());
+    EXPECT_EQ(simd.isa, Isa::Avx512);
+    EXPECT_STREQ(simd.source, "env:RSN_NONLINEAR");
+    EXPECT_FALSE(simd.warning.empty());
+}
+
+TEST(KernelRegistry, RsnIsaWinsOverRsnNonlinear)
+{
+    // Precedence: the new variable beats the deprecated alias when
+    // both are set, even when they disagree.
+    auto c = kernel::resolveStartupIsa("portable", "exact",
+                                       fullAvx512Probe(),
+                                       x86CompiledIn());
+    EXPECT_EQ(c.isa, Isa::Portable);
+    EXPECT_STREQ(c.source, "env:RSN_ISA");
+}
+
+TEST(KernelRegistry, GarbageRsnNonlinearFallsBackWithWarning)
+{
+    auto c = kernel::resolveStartupIsa(nullptr, "fast",
+                                       fullAvx512Probe(),
+                                       x86CompiledIn());
+    EXPECT_EQ(c.isa, Isa::Avx512);
+    EXPECT_STREQ(c.source, "probe");
+    EXPECT_FALSE(c.warning.empty());
+}
+
+// ------------------------------------------- the live Registry object --
+
+TEST(KernelRegistry, TablesEndWithScalarAndContainPortable)
+{
+    auto &reg = kernel::Registry::instance();
+    ASSERT_GE(reg.tables().size(), 2u);
+    EXPECT_EQ(reg.tables().back()->isa, Isa::Scalar);
+    EXPECT_NE(reg.find("portable"), nullptr);
+    EXPECT_NE(reg.find("scalar"), nullptr);
+    EXPECT_EQ(reg.find("avx2-fma"), nullptr) << "old name must be gone";
+    // Scalar and Portable are selectable on any CPU.
+    EXPECT_TRUE(reg.selectable(Isa::Scalar));
+    EXPECT_TRUE(reg.selectable(Isa::Portable));
+}
+
+TEST(KernelRegistry, StrictSelectRejectsUnknownNames)
+{
+    auto &reg = kernel::Registry::instance();
+    const kernel::KernelTable &before = reg.active();
+    for (const char *bad : {"", "mips", "AVX512", "avx2-fma"}) {
+        Status st = reg.select(bad, "cli:--isa");
+        EXPECT_FALSE(st.ok()) << bad;
+        EXPECT_EQ(&reg.active(), &before)
+            << "failed select must leave the selection unchanged";
+    }
+    // The error names the valid vocabulary so the CLI message is
+    // actionable.
+    Status st = reg.select("mips");
+    EXPECT_NE(st.toString().find("portable"), std::string::npos)
+        << st.toString();
+}
+
+TEST(KernelRegistry, StrictSelectByNameSwitchesTheActiveTable)
+{
+    auto &reg = kernel::Registry::instance();
+    const kernel::KernelTable &before = reg.active();
+    const std::string before_name = before.name;
+    const char *before_source = reg.selectionSource();
+
+    ASSERT_TRUE(reg.select("scalar", "cli:--isa").ok());
+    EXPECT_STREQ(reg.active().name, "scalar");
+    EXPECT_STREQ(reg.selectionSource(), "cli:--isa");
+    EXPECT_EQ(&kernel::active(), &reg.active())
+        << "hot accessor must track the registry";
+
+    // Restore for the rest of the process.
+    ASSERT_TRUE(reg.select(before_name, before_source).ok());
+    EXPECT_EQ(&reg.active(), &before);
+}
+
+TEST(KernelRegistry, ScopedOverrideRestoresTableAndSource)
+{
+    auto &reg = kernel::Registry::instance();
+    const kernel::KernelTable &before = reg.active();
+    const std::string before_source = reg.selectionSource();
+    {
+        kernel::ScopedIsaOverride pin(Isa::Scalar);
+        EXPECT_STREQ(reg.active().name, "scalar");
+        EXPECT_STREQ(reg.selectionSource(), "override");
+        {
+            kernel::ScopedIsaOverride nested(Isa::Portable);
+            EXPECT_STREQ(reg.active().name, "portable");
+        }
+        EXPECT_STREQ(reg.active().name, "scalar") << "nesting unwinds";
+    }
+    EXPECT_EQ(&reg.active(), &before);
+    EXPECT_EQ(reg.selectionSource(), before_source);
+}
+
+// ------------------------------------------- scalar table exactness ----
+
+TEST(KernelRegistry, ScalarTableIsBitExactAgainstTheReferenceKernels)
+{
+    // The scalar table is not an approximation of the reference — it
+    // IS the reference, routed through the table. Bit-exact, not
+    // tolerance-compared.
+    const kernel::KernelTable *scalar =
+        kernel::Registry::instance().find("scalar");
+    ASSERT_NE(scalar, nullptr);
+    EXPECT_TRUE(scalar->exact);
+
+    std::mt19937 rng(71);
+    std::uniform_real_distribution<float> dist(-3.f, 3.f);
+    const std::uint32_t m = 13, k = 21, n = 17;
+    std::vector<float> lhs(m * k), rhs(k * n), acc(m * n);
+    for (auto *v : {&lhs, &rhs, &acc})
+        for (auto &x : *v)
+            x = dist(rng);
+
+    auto want = acc;
+    fu::gemmRefAccumulate(want.data(), lhs.data(), rhs.data(), m, k, n);
+    auto got = acc;
+    fu::GemmScratch scratch;
+    scalar->gemm_accumulate(scratch, got.data(), lhs.data(), rhs.data(),
+                            m, k, n);
+    scratch.release();
+    EXPECT_EQ(got, want);
+
+    std::vector<float> tile(5 * 19);
+    for (auto &x : tile)
+        x = dist(rng);
+    auto a = tile, b = tile;
+    fu::softmaxRows(a.data(), 5, 19);
+    scalar->softmax_rows(b.data(), 5, 19);
+    EXPECT_EQ(a, b);
+    a = b = tile;
+    fu::geluInplace(a.data(), a.size());
+    scalar->gelu_inplace(b.data(), b.size());
+    EXPECT_EQ(a, b);
+    a = b = tile;
+    fu::layernormRows(a.data(), 5, 19);
+    scalar->layernorm_rows(b.data(), 5, 19);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace

@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
+#include "fu/kernel_registry.hh"
 #include "fu/mem_fus.hh"
-#include "fu/nonlinear_simd.hh"
 #include "ref/ref_math.hh"
 #include "fu_harness.hh"
 
@@ -261,10 +261,11 @@ TEST(MemCFu, RecvThenStoreSplitsIntoPieces)
 
 TEST(MemCFu, SoftmaxAppliedOnRecv)
 {
-    // Pin the exact kernels: this test validates the MemC *plumbing*
-    // against ref_math at tight tolerance; the vectorized kernels'
-    // accuracy has its own property suite (test_nonlinear_simd.cc).
-    fu::ScopedNonlinearMode exact(fu::NonlinearMode::Exact);
+    // Pin the exact scalar kernel table: this test validates the MemC
+    // *plumbing* against ref_math at tight tolerance; the vectorized
+    // tables' accuracy has its own property suite
+    // (test_nonlinear_simd.cc).
+    kernel::ScopedIsaOverride exact(kernel::Isa::Scalar);
     MemCRig r;
     isa::MemCUop recv;
     recv.rows = 2;
@@ -294,7 +295,7 @@ TEST(MemCFu, SoftmaxAppliedOnRecv)
 
 TEST(MemCFu, ResidualAddAndLayerNormWithParams)
 {
-    fu::ScopedNonlinearMode exact(fu::NonlinearMode::Exact);
+    kernel::ScopedIsaOverride exact(kernel::Isa::Scalar);
     MemCRig r;
     isa::MemCUop recv;
     recv.rows = 2;
@@ -335,7 +336,7 @@ TEST(MemCFu, ResidualAddAndLayerNormWithParams)
 
 TEST(MemCFu, GeluMatchesReference)
 {
-    fu::ScopedNonlinearMode exact(fu::NonlinearMode::Exact);
+    kernel::ScopedIsaOverride exact(kernel::Isa::Scalar);
     MemCRig r;
     isa::MemCUop recv;
     recv.rows = 3;
@@ -362,10 +363,16 @@ TEST(MemCFu, SimdKernelsRunPerGatherSegment)
 {
     // The vectorized dispatch must run over every adopted gather
     // segment exactly like the exact kernels do: assemble a tile from
-    // two chunks (two segments) and fuse softmax under Simd mode, then
-    // compare against ref_math at the documented softmax tolerance
-    // (fu/nonlinear_simd.hh).
-    fu::ScopedNonlinearMode simd(fu::NonlinearMode::Simd);
+    // two chunks (two segments) and fuse softmax under the probed-best
+    // vectorized table, then compare against ref_math at the documented
+    // softmax tolerance (fu/kernel_registry.hh). chooseBest never
+    // returns scalar, so this really exercises an approximate kernel.
+    auto &reg = kernel::Registry::instance();
+    std::vector<kernel::Isa> compiled_in;
+    for (const auto *t : reg.tables())
+        compiled_in.push_back(t->isa);
+    kernel::ScopedIsaOverride simd(
+        kernel::chooseBest(reg.probe(), compiled_in));
     MemCRig r;
     isa::MemCUop recv;
     recv.rows = 4;

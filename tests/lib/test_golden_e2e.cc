@@ -17,7 +17,14 @@
  *    and the output checksum must agree with the reference checksum —
  *    so a refactor cannot silently compute something else;
  *  - the *separation*: functional payload carriage must not perturb
- *    timing — the same program ticks identically with and without data.
+ *    timing — the same program ticks identically with and without data;
+ *  - the *dispatch* (ISSUE 7): one binary carries every kernel table
+ *    (fu/kernel_registry.hh), and the golden run must hold under each
+ *    of them — tick counts bit-exact (kernel choice may never move
+ *    simulated time), payload outputs within the documented tolerance.
+ *    On top of the in-binary loop below, ctest re-runs this whole
+ *    binary under RSN_ISA=<each value> (CMakeLists.txt) to cover the
+ *    env startup path.
  */
 
 #include <gtest/gtest.h>
@@ -26,7 +33,7 @@
 #include <variant>
 
 #include "core/machine.hh"
-#include "fu/nonlinear_simd.hh"
+#include "fu/kernel_registry.hh"
 #include "lib/codegen.hh"
 #include "lib/model.hh"
 #include "lib/runner.hh"
@@ -86,10 +93,10 @@ TEST(GoldenTrace, BertLargeEncoderTickCountIsPinned)
 
 TEST(GoldenTrace, FunctionalOutputsMatchReferenceAndChecksum)
 {
-    // The golden numeric tier always runs the exact scalar nonlinear
-    // kernels — MemC's default vectorized dispatch is approximate and
-    // has its own golden test below at the documented tolerance.
-    fu::ScopedNonlinearMode exact(fu::NonlinearMode::Exact);
+    // The golden numeric tier always runs the exact scalar kernel table
+    // — the vectorized tables are approximate and have their own golden
+    // loop below at the documented tolerance.
+    kernel::ScopedIsaOverride exact(kernel::Isa::Scalar);
     core::RsnMachine mach(core::MachineConfig::vck190(/*functional=*/true));
     auto model = tinyModel();
     auto compiled = lib::compileModel(mach, model,
@@ -126,37 +133,47 @@ TEST(GoldenTrace, FunctionalOutputsMatchReferenceAndChecksum)
     EXPECT_TRUE(std::isfinite(got_sum));
 }
 
-TEST(GoldenTrace, FunctionalOutputsUnderSimdNonlinearKernels)
+TEST(GoldenTrace, FunctionalOutputsUnderEveryKernelTable)
 {
-    // Same golden run under the vectorized nonlinear dispatch (the
-    // production default): simulated time must be bit-identical — the
-    // kernel mode may never move a tick — and the functional outputs
+    // The golden run under every vectorized table this binary compiled
+    // in and this CPU can execute — the one-binary-all-ISAs contract
+    // (ISSUE 7). Simulated time must be bit-identical under each (a
+    // kernel table may never move a tick), and the functional outputs
     // must stay within the end-to-end tolerance the approximation
-    // policy documents (fu/nonlinear_simd.hh, docs/datapath.md).
-    fu::ScopedNonlinearMode simd(fu::NonlinearMode::Simd);
-    core::RsnMachine mach(core::MachineConfig::vck190(/*functional=*/true));
-    auto model = tinyModel();
-    auto compiled = lib::compileModel(mach, model,
-                                      lib::ScheduleOptions::optimized());
-    lib::initTensors(mach, compiled, /*seed=*/123);
-    auto expected = lib::referenceForward(mach, model, compiled);
-    auto r = mach.run(compiled.program);
-    ASSERT_TRUE(r.completed) << r.diagnosis;
-    EXPECT_EQ(r.ticks, kTinyEncoderGoldenTicks)
-        << "nonlinear kernel mode changed simulated time";
+    // policy documents (fu/kernel_registry.hh, docs/datapath.md).
+    auto &reg = kernel::Registry::instance();
+    std::size_t tables_run = 0;
+    for (const auto *t : reg.tables()) {
+        if (t->exact || !reg.selectable(t->isa))
+            continue;  // scalar is the previous test's baseline
+        SCOPED_TRACE(t->name);
+        kernel::ScopedIsaOverride pin(*t);
+        core::RsnMachine mach(
+            core::MachineConfig::vck190(/*functional=*/true));
+        auto model = tinyModel();
+        auto compiled = lib::compileModel(
+            mach, model, lib::ScheduleOptions::optimized());
+        lib::initTensors(mach, compiled, /*seed=*/123);
+        auto expected = lib::referenceForward(mach, model, compiled);
+        auto r = mach.run(compiled.program);
+        ASSERT_TRUE(r.completed) << r.diagnosis;
+        EXPECT_EQ(r.ticks, kTinyEncoderGoldenTicks)
+            << "kernel table " << t->name << " changed simulated time";
 
-    std::size_t compared = 0;
-    for (const auto &[name, expect] : expected) {
-        if (name == "input" || !compiled.hasTensor(name))
-            continue;
-        auto got = lib::readTensor(mach, compiled, name);
-        std::string why;
-        EXPECT_TRUE(ref::allclose(got, expect, 4e-3f, 4e-3f, &why))
-            << name << " (" << fu::nonlinearModeName()
-            << " kernels): " << why;
-        ++compared;
+        std::size_t compared = 0;
+        for (const auto &[name, expect] : expected) {
+            if (name == "input" || !compiled.hasTensor(name))
+                continue;
+            auto got = lib::readTensor(mach, compiled, name);
+            std::string why;
+            EXPECT_TRUE(ref::allclose(got, expect, 4e-3f, 4e-3f, &why))
+                << name << " (" << t->name << " kernels): " << why;
+            ++compared;
+        }
+        EXPECT_GE(compared, 5u) << "golden comparison went vacuous";
+        ++tables_run;
     }
-    EXPECT_GE(compared, 5u) << "golden comparison went vacuous";
+    EXPECT_GE(tables_run, 1u) << "no vectorized table was selectable";
 }
 
 TEST(GoldenTrace, FunctionalPayloadsDoNotPerturbTiming)

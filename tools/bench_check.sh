@@ -76,6 +76,11 @@ for name in sorted(set(baseline) | set(current)):
         continue
     ratio = cur_ips / base_ips if base_ips else float("inf")
     notes = []
+    # A snapshot taken on different hardware runs different kernel
+    # tables: note the ISA flip instead of calling it a regression
+    # (the ratio still prints, but apples-to-oranges is visible).
+    if base.get("isa") and cur.get("isa") and base["isa"] != cur["isa"]:
+        notes.append(f"isa {base['isa']}->{cur['isa']}")
     if ratio < tolerance:
         notes.append("<< REGRESSED")
         problems.append(f"{name} at {ratio:.2f}x baseline")

@@ -46,6 +46,11 @@ for raw in raws:
                  "cpu_time_ns": b.get("cpu_time")}
         if b.get("time_unit") == "ms":
             entry["cpu_time_ns"] = b.get("cpu_time", 0) * 1e6
+        # The benchmark's SetLabel — for the payload-kernel benches this
+        # is the runtime-selected ISA table ("avx512", "scalar", ...),
+        # so the snapshot records which kernels produced each series.
+        if b.get("label"):
+            entry["isa"] = b["label"]
         for counter in ("allocs_per_event", "allocs_per_chunk",
                         "allocs_per_tile"):
             if counter in b:

@@ -12,6 +12,12 @@
  *     --no-fuse-qkv                   keep Q/K/V as separate GEMMs
  *     --bw-scale F                    scale both DRAM channels by F
  *     --functional                    carry FP32 data and self-check
+ *     --isa NAME                      payload kernel table: avx512,
+ *                                     avx2, neon, portable, or scalar
+ *                                     (the exact reference); default is
+ *                                     the best this CPU supports, or
+ *                                     $RSN_ISA. Affects payload math
+ *                                     only, never tick counts.
  *     --trace FILE                    write a Chrome trace JSON
  *     --plan                          print the segmentation plan
  *     --dot                           print the datapath as Graphviz DOT
@@ -24,7 +30,7 @@
  * Exit codes:
  *   0  run completed (outputs verified when --functional)
  *   1  run completed but outputs mismatched the FP32 reference
- *   2  usage error (unknown flag / model / schedule)
+ *   2  usage error (unknown flag / model / schedule / --isa name)
  *   3  invalid configuration (bad machine config or fault spec)
  *   4  run diagnosed: injected hard fault, deadlock, livelock, timeout
  *
@@ -44,6 +50,7 @@
 
 #include "core/machine.hh"
 #include "core/power.hh"
+#include "fu/kernel_registry.hh"
 #include "core/tracer.hh"
 #include "lib/codegen.hh"
 #include "lib/model.hh"
@@ -62,6 +69,7 @@ struct Options {
     bool fuse_qkv = true;
     double bw_scale = 1.0;
     bool functional = false;
+    std::string isa;
     std::string trace_path;
     bool print_plan = false;
     bool print_dot = false;
@@ -105,6 +113,8 @@ parse(int argc, char **argv)
             o.bw_scale = std::atof(next().c_str());
         else if (a == "--functional")
             o.functional = true;
+        else if (a == "--isa")
+            o.isa = next();
         else if (a == "--trace")
             o.trace_path = next();
         else if (a == "--plan")
@@ -147,6 +157,17 @@ int
 runMain(const Options &o)
 {
     using namespace rsn;
+
+    if (!o.isa.empty()) {
+        // Strict, unlike the RSN_ISA env fallback: an artifact told to
+        // run a specific kernel table must not silently run another.
+        Status st = kernel::Registry::instance().select(o.isa, "cli:--isa");
+        if (!st.ok()) {
+            std::fprintf(stderr, "--isa %s: %s\n", o.isa.c_str(),
+                         st.toString().c_str());
+            return 2;
+        }
+    }
 
     lib::Model model;
     if (o.model == "bert")
@@ -239,6 +260,10 @@ runMain(const Options &o)
                 o.batch, o.seq, o.schedule.c_str());
     std::printf("  latency   : %.3f ms (%llu ticks @ 260 MHz)\n", r.ms,
                 (unsigned long long)r.ticks);
+    std::printf("  kernels   : %s via %s (probe: %s)\n",
+                checked.report.isa.c_str(),
+                checked.report.isa_source.c_str(),
+                checked.report.isa_probe.c_str());
     std::printf("  compute   : %.2f achieved TFLOPS (peak %.2f)\n",
                 mach.achievedTflops(r), mach.peakTflops());
     std::printf("  DDR       : %.1f MB read, %.1f MB written (%.0f%% "

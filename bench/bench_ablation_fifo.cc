@@ -17,42 +17,56 @@
 #include "core/report.hh"
 
 using namespace rsn;
-using rsn::bench::runModel;
 using rsn::core::Table;
 
-int
-main()
+namespace {
+
+const char *
+outcome(const core::RunResult &r)
 {
+    return r.completed      ? "completed"
+           : r.deadlocked   ? "DEADLOCK"
+                            : "timeout";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const lib::SweepExecutor executor(bench::benchJobs(argc, argv));
     core::banner("Ablation: decoder FIFO depth (Sec. 3.3 deadlock "
                  "discussion)");
 
-    Table t("BERT-Large encoder (S=512, B=6), optimized schedule");
-    t.header({"uOP FIFO depth", "packet FIFO depth", "outcome",
-              "latency ms"});
-    for (std::size_t uop_depth : {2u, 3u, 4u, 6u, 8u, 16u}) {
+    // Deadlocked points leave non-resettable machines; the lane simply
+    // rebuilds, so DEADLOCK rows are safe to sweep in parallel too.
+    const std::vector<std::size_t> uop_depths{2, 3, 4, 6, 8, 16};
+    const std::vector<std::size_t> pkt_depths{1, 2, 6, 12};
+    std::vector<bench::SweepJob> jobs;
+    for (std::size_t uop_depth : uop_depths) {
         auto cfg = core::MachineConfig::vck190();
         cfg.uop_fifo_depth = uop_depth;
         // The generated code interleaves delivery in blocks of 4, so
         // depths below 5 starve sibling FUs behind the shared decoder.
-        auto r = runModel(lib::bertLargeEncoder(6, 512, true, 1),
-                          lib::ScheduleOptions::optimized(), cfg);
-        t.row({std::to_string(uop_depth),
-               std::to_string(cfg.fetch_fifo_depth),
-               r.result.completed ? "completed"
-               : r.result.deadlocked ? "DEADLOCK"
-                                     : "timeout",
-               r.result.completed ? Table::num(r.result.ms, 2) : "-"});
+        jobs.push_back({lib::bertLargeEncoder(6, 512, true, 1),
+                        lib::ScheduleOptions::optimized(), cfg});
     }
-    for (std::size_t pkt_depth : {1u, 2u, 6u, 12u}) {
+    for (std::size_t pkt_depth : pkt_depths) {
         auto cfg = core::MachineConfig::vck190();
         cfg.fetch_fifo_depth = pkt_depth;
-        auto r = runModel(lib::bertLargeEncoder(6, 512, true, 1),
-                          lib::ScheduleOptions::optimized(), cfg);
+        jobs.push_back({lib::bertLargeEncoder(6, 512, true, 1),
+                        lib::ScheduleOptions::optimized(), cfg});
+    }
+    const auto runs = bench::runSweepPoints(executor, jobs);
+
+    Table t("BERT-Large encoder (S=512, B=6), optimized schedule");
+    t.header({"uOP FIFO depth", "packet FIFO depth", "outcome",
+              "latency ms"});
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const auto &cfg = jobs[i].cfg;
+        const auto &r = runs[i];
         t.row({std::to_string(cfg.uop_fifo_depth),
-               std::to_string(pkt_depth),
-               r.result.completed ? "completed"
-               : r.result.deadlocked ? "DEADLOCK"
-                                     : "timeout",
+               std::to_string(cfg.fetch_fifo_depth), outcome(r.result),
                r.result.completed ? Table::num(r.result.ms, 2) : "-"});
     }
     t.print();
@@ -60,17 +74,21 @@ main()
     // The deadlock is shape-dependent: the sequential-attention program
     // at B=2 needs more fetch slack than the paper's depth 6 provides
     // under this generator's packing.
-    Table s("Shape sensitivity: B=2, S=128, BW-optimized schedule");
-    s.header({"packet FIFO depth", "outcome", "latency ms"});
-    for (std::size_t pkt_depth : {4u, 6u, 8u, 12u}) {
+    const std::vector<std::size_t> shape_depths{4, 6, 8, 12};
+    std::vector<bench::SweepJob> shape_jobs;
+    for (std::size_t pkt_depth : shape_depths) {
         auto cfg = core::MachineConfig::vck190();
         cfg.fetch_fifo_depth = pkt_depth;
-        auto r = runModel(lib::bertLargeEncoder(2, 128, true, 1),
-                          lib::ScheduleOptions::bwOptimized(), cfg);
-        s.row({std::to_string(pkt_depth),
-               r.result.completed ? "completed"
-               : r.result.deadlocked ? "DEADLOCK"
-                                     : "timeout",
+        shape_jobs.push_back({lib::bertLargeEncoder(2, 128, true, 1),
+                              lib::ScheduleOptions::bwOptimized(), cfg});
+    }
+    const auto shape_runs = bench::runSweepPoints(executor, shape_jobs);
+
+    Table s("Shape sensitivity: B=2, S=128, BW-optimized schedule");
+    s.header({"packet FIFO depth", "outcome", "latency ms"});
+    for (std::size_t i = 0; i < shape_jobs.size(); ++i) {
+        const auto &r = shape_runs[i];
+        s.row({std::to_string(shape_depths[i]), outcome(r.result),
                r.result.completed ? Table::num(r.result.ms, 2) : "-"});
     }
     s.print();

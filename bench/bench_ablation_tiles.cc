@@ -14,29 +14,38 @@
 
 using namespace rsn;
 using rsn::bench::linearModel;
-using rsn::bench::runModel;
 using rsn::core::Table;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const lib::SweepExecutor executor(bench::benchJobs(argc, argv));
     core::banner("Ablation: out-stationary tile shape "
                  "(FF1 3072x1024x4096)");
     {
-        Table t("Tile sweep (k_step x out_tile_m)");
-        t.header({"out_tile_m", "k_step", "latency ms", "DDR read MB"});
-        for (std::uint32_t tm : {384u, 768u, 1536u}) {
-            for (std::uint32_t ks : {64u, 128u, 256u}) {
+        const std::vector<std::uint32_t> tile_ms{384, 768, 1536};
+        const std::vector<std::uint32_t> k_steps{64, 128, 256};
+        std::vector<bench::SweepJob> jobs;
+        for (std::uint32_t tm : tile_ms) {
+            for (std::uint32_t ks : k_steps) {
                 auto opts = lib::ScheduleOptions::optimized();
                 opts.out_tile_m = tm;
                 opts.k_step = ks;
-                auto r = runModel(linearModel("ff1", 3072, 1024, 4096,
-                                              true, true),
-                                  opts);
-                t.row({std::to_string(tm), std::to_string(ks),
-                       Table::num(r.result.ms, 3),
-                       Table::num(r.ddr_read_mb, 1)});
+                jobs.push_back({linearModel("ff1", 3072, 1024, 4096,
+                                            true, true),
+                                opts});
             }
+        }
+        const auto runs = bench::runSweepPoints(executor, jobs);
+
+        Table t("Tile sweep (k_step x out_tile_m)");
+        t.header({"out_tile_m", "k_step", "latency ms", "DDR read MB"});
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const auto &r = runs[i];
+            t.row({std::to_string(tile_ms[i / k_steps.size()]),
+                   std::to_string(k_steps[i % k_steps.size()]),
+                   Table::num(r.result.ms, 3),
+                   Table::num(r.ddr_read_mb, 1)});
         }
         t.print();
     }
@@ -44,35 +53,46 @@ main()
     core::banner("Ablation: off-chip layout (blocked 128x64 vs "
                  "row-major)");
     {
-        Table t("Key MM 3072x1024x1024, optimized schedule");
-        t.header({"layout", "latency ms", "note"});
+        std::vector<bench::SweepJob> jobs;
         for (auto layout : {mem::LayoutKind::Blocked,
                             mem::LayoutKind::RowMajor}) {
             auto cfg = core::MachineConfig::vck190();
             cfg.offchip_layout = layout;
-            auto r = runModel(linearModel("key", 3072, 1024, 1024, true),
-                              lib::ScheduleOptions::optimized(), cfg);
-            t.row({layout == mem::LayoutKind::Blocked ? "blocked 128x64"
-                                                      : "row-major",
-                   Table::num(r.result.ms, 3),
-                   layout == mem::LayoutKind::Blocked
-                       ? "one burst per touched block"
-                       : "one burst per partial row"});
+            jobs.push_back({linearModel("key", 3072, 1024, 1024, true),
+                            lib::ScheduleOptions::optimized(), cfg});
+        }
+        const auto runs = bench::runSweepPoints(executor, jobs);
+
+        Table t("Key MM 3072x1024x1024, optimized schedule");
+        t.header({"layout", "latency ms", "note"});
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const bool blocked = jobs[i].cfg.offchip_layout ==
+                                 mem::LayoutKind::Blocked;
+            t.row({blocked ? "blocked 128x64" : "row-major",
+                   Table::num(runs[i].result.ms, 3),
+                   blocked ? "one burst per touched block"
+                           : "one burst per partial row"});
         }
         t.print();
     }
 
     core::banner("Ablation: store-split granularity (Sec. 4.4)");
     {
-        Table t("Key MM with interleaved stores, varying split");
-        t.header({"store pieces per slab", "latency ms"});
-        for (std::uint32_t split : {1u, 2u, 4u, 8u}) {
+        const std::vector<std::uint32_t> splits{1, 2, 4, 8};
+        std::vector<bench::SweepJob> jobs;
+        for (std::uint32_t split : splits) {
             auto opts = lib::ScheduleOptions::optimized();
             opts.store_split = split;
-            auto r = runModel(linearModel("key", 3072, 1024, 1024, true),
-                              opts);
-            t.row({std::to_string(split), Table::num(r.result.ms, 3)});
+            jobs.push_back({linearModel("key", 3072, 1024, 1024, true),
+                            opts});
         }
+        const auto runs = bench::runSweepPoints(executor, jobs);
+
+        Table t("Key MM with interleaved stores, varying split");
+        t.header({"store pieces per slab", "latency ms"});
+        for (std::size_t i = 0; i < splits.size(); ++i)
+            t.row({std::to_string(splits[i]),
+                   Table::num(runs[i].result.ms, 3)});
         t.print();
     }
     return 0;

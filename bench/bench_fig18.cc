@@ -9,16 +9,17 @@
 
 #include <cstdio>
 
+#include <vector>
+
 #include "baseline/charm.hh"
 #include "bench/bench_util.hh"
 #include "core/report.hh"
 
 using namespace rsn;
-using rsn::bench::runModel;
 using rsn::core::Table;
 
 int
-main()
+main(int argc, char **argv)
 {
     core::banner("Fig. 18: latency / throughput vs batch size "
                  "(BERT-Large 1st encoder, S=512)");
@@ -30,11 +31,19 @@ main()
     t.header({"Batch", "RSN latency ms", "RSN tasks/s", "CHARM latency ms",
               "CHARM tasks/s", "latency gain", "thr gain"});
 
+    const std::vector<std::uint32_t> batches{1, 2, 3, 6, 12, 24};
+    std::vector<bench::SweepJob> jobs;
+    for (std::uint32_t b : batches)
+        jobs.push_back({lib::bertLargeEncoder(b, 512, true, 1),
+                        lib::ScheduleOptions::optimized()});
+    const auto runs = bench::runSweepPoints(
+        lib::SweepExecutor(bench::benchJobs(argc, argv)), jobs);
+
     double rsn_peak_thr = 0, charm_peak_thr = 0;
     double rsn_best_lat = 1e9, charm_best_lat = 1e9;
-    for (std::uint32_t b : {1u, 2u, 3u, 6u, 12u, 24u}) {
-        auto r = runModel(lib::bertLargeEncoder(b, 512, true, 1),
-                          lib::ScheduleOptions::optimized());
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+        const std::uint32_t b = batches[i];
+        const auto &r = runs[i];
         double rsn_thr = b / (r.result.ms / 1e3);
         auto c = charm.run(lib::bertLargeEncoder(6, 512, false, 1), b);
         rsn_peak_thr = std::max(rsn_peak_thr, rsn_thr);

@@ -18,6 +18,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/machine.hh"
@@ -26,6 +27,7 @@
 #include "lib/codegen.hh"
 #include "lib/model.hh"
 #include "lib/runner.hh"
+#include "lib/sweep.hh"
 #include "mem/hostmem.hh"
 
 namespace {
@@ -133,6 +135,53 @@ BM_TimingOnlyTinyEncoder(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TimingOnlyTinyEncoder)->Unit(benchmark::kMillisecond);
+
+/**
+ * Sweep-executor throughput at Arg(0) lanes: one item == one complete
+ * timing-only tiny-encoder sweep point (compile + run) pushed through
+ * lib::SweepExecutor. The {1,4,8} series is the scaling headline for
+ * the parallel sweep layer — jobs=1 is the sequential baseline the
+ * parallel results are bit-identical to, and items_per_second at 4/8
+ * over 1 is the measured speedup. The per-lane machine cache works at
+ * full strength: every point shares one config, so each lane builds
+ * one machine and reset()s it for the rest of the sweep. The batch is
+ * sized at 4x jobs so each lane amortizes its build across ~4 points,
+ * mirroring the fig/table sweep shape.
+ */
+void
+BM_SweepThroughput(benchmark::State &state)
+{
+    const unsigned jobs = static_cast<unsigned>(state.range(0));
+    const std::size_t points = std::size_t(jobs) * 4;
+    const rsn::lib::SweepExecutor executor(jobs);
+    auto model = rsn::lib::tinyEncoder(2, 64, 128, 4, 256, true);
+    const auto cfg =
+        rsn::core::MachineConfig::vck190(/*functional=*/false);
+    for (auto _ : state) {
+        auto ticks = executor.map<rsn::Tick>(
+            points, [&](rsn::lib::SweepLane &lane, std::size_t) {
+                auto &mach = lane.machine(cfg);
+                auto compiled = rsn::lib::compileModel(
+                    mach, model, rsn::lib::ScheduleOptions::optimized());
+                auto r = mach.run(compiled.program);
+                if (!r.completed)
+                    return rsn::Tick(0);
+                return r.ticks;
+            });
+        for (rsn::Tick t : ticks)
+            if (t == 0)
+                state.SkipWithError("sweep point did not complete");
+        benchmark::DoNotOptimize(ticks.data());
+    }
+    state.SetItemsProcessed(state.iterations() * points);
+    state.SetLabel("jobs=" + std::to_string(jobs));
+}
+BENCHMARK(BM_SweepThroughput)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 /** Deterministic logit-scale inputs for the nonlinear benches. The
  *  tile is re-seeded from the source every iteration (memcpy, dwarfed

@@ -17,12 +17,12 @@
 
 using namespace rsn;
 using rsn::bench::linearModel;
-using rsn::bench::runModel;
 using rsn::core::Table;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const lib::SweepExecutor executor(bench::benchJobs(argc, argv));
     core::banner("Table 6a: AIE MM throughput (no DRAM)");
     {
         Table t("Model vs paper (384 tiles, 6 MMEs); published "
@@ -70,11 +70,17 @@ main()
             std::uint32_t n;
             double paper_rsn, paper_charm;
         };
-        for (const Row &r : {Row{1024, 2982.62, 1103.46},
-                             Row{3072, 6600.12, 2850.13},
-                             Row{6144, 6750.93, 3277.99}}) {
-            auto run = runModel(linearModel("mm", r.n, r.n, r.n, false),
-                                lib::ScheduleOptions::optimized());
+        const std::vector<Row> rows{Row{1024, 2982.62, 1103.46},
+                                    Row{3072, 6600.12, 2850.13},
+                                    Row{6144, 6750.93, 3277.99}};
+        std::vector<bench::SweepJob> jobs;
+        for (const Row &r : rows)
+            jobs.push_back({linearModel("mm", r.n, r.n, r.n, false),
+                            lib::ScheduleOptions::optimized()});
+        const auto runs = bench::runSweepPoints(executor, jobs);
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Row &r = rows[i];
+            const auto &run = runs[i];
             double gflops = 2.0 * r.n * double(r.n) * r.n /
                             (run.result.ms / 1e3) / 1e9;
             double cg = charm.squareGemmGflops(r.n);

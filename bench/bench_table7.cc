@@ -13,11 +13,10 @@
 #include "core/report.hh"
 
 using namespace rsn;
-using rsn::bench::runModel;
 using rsn::core::Table;
 
 int
-main()
+main(int argc, char **argv)
 {
     core::banner("Table 7: latency per task at max throughput "
                  "(RSN-XNN vs CHARM)");
@@ -38,12 +37,19 @@ main()
     loads.push_back({"NCF", lib::ncf(6), lib::ncf(6), 40.4, 16.1});
     loads.push_back({"MLP", lib::mlp(6), lib::mlp(6), 119, 42.6});
 
+    std::vector<bench::SweepJob> jobs;
+    for (auto &w : loads)
+        jobs.push_back({w.rsn_model, lib::ScheduleOptions::optimized()});
+    const auto runs = bench::runSweepPoints(
+        lib::SweepExecutor(bench::benchJobs(argc, argv)), jobs);
+
     baseline::CharmModel charm;
     Table t("Latency per 6-batch task (ms)");
     t.header({"Model", "CHARM (model)", "RSN (sim)", "gain",
               "paper CHARM", "paper RSN", "paper gain"});
-    for (auto &w : loads) {
-        auto r = runModel(w.rsn_model, lib::ScheduleOptions::optimized());
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        auto &w = loads[i];
+        const auto &r = runs[i];
         auto c = charm.run(w.charm_model, 24);
         double charm_per_task = 6.0 / c.throughput_tasks * 1e3;
         t.row({w.name, Table::num(charm_per_task, 1),

@@ -14,7 +14,6 @@
 using namespace rsn;
 using rsn::bench::attentionModel;
 using rsn::bench::linearModel;
-using rsn::bench::runModel;
 using rsn::core::Table;
 
 namespace {
@@ -29,8 +28,9 @@ struct SegRow {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const lib::SweepExecutor executor(bench::benchJobs(argc, argv));
     core::banner("Table 9: BERT-Large 1st encoder segment breakdown "
                  "(S=512, B=6, FP32)");
 
@@ -59,13 +59,23 @@ main()
                                 false),
                     5.764, 4.811});
 
+    // Two option levels per segment, flattened into one sweep: job 2i
+    // is segment i at no-opt, job 2i+1 the same segment BW-optimized.
+    std::vector<bench::SweepJob> seg_jobs;
+    for (auto &s : segs) {
+        seg_jobs.push_back({s.model, lib::ScheduleOptions::noOptimize()});
+        seg_jobs.push_back({s.model, lib::ScheduleOptions::bwOptimized()});
+    }
+    const auto seg_runs = bench::runSweepPoints(executor, seg_jobs);
+
     Table t("Per-segment latency (ms): paper vs this simulator");
     t.header({"Segment", "paper no-opt", "sim no-opt", "paper BW-opt",
               "sim BW-opt", "speedup(sim)"});
     double sum_noopt = 0, sum_bw = 0;
-    for (auto &s : segs) {
-        auto no_opt = runModel(s.model, lib::ScheduleOptions::noOptimize());
-        auto bw = runModel(s.model, lib::ScheduleOptions::bwOptimized());
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+        auto &s = segs[i];
+        const auto &no_opt = seg_runs[2 * i];
+        const auto &bw = seg_runs[2 * i + 1];
         sum_noopt += no_opt.result.ms;
         sum_bw += bw.result.ms;
         t.row({s.name, s.paper_noopt_ms ? Table::num(s.paper_noopt_ms, 3)
@@ -79,10 +89,14 @@ main()
 
     core::banner("Attention: sequential (type A) vs pipelined (type D)");
     {
-        auto seq = runModel(attentionModel(6, 512, 16, 64),
-                            lib::ScheduleOptions::bwOptimized());
-        auto pipe = runModel(attentionModel(6, 512, 16, 64),
-                             lib::ScheduleOptions::optimized());
+        const auto pair = bench::runSweepPoints(
+            executor,
+            {{attentionModel(6, 512, 16, 64),
+              lib::ScheduleOptions::bwOptimized()},
+             {attentionModel(6, 512, 16, 64),
+              lib::ScheduleOptions::optimized()}});
+        const auto &seq = pair[0];
+        const auto &pipe = pair[1];
         Table a("Attention mapping comparison (paper: 22.30 -> 2.618 ms, "
                 "8.52x)");
         a.header({"Mapping", "latency ms", "speedup"});
@@ -97,13 +111,16 @@ main()
     core::banner("QKV fusion (Multi MMs together)");
     {
         // Three separate 1024-wide GEMMs vs one fused 3072-wide GEMM.
+        std::vector<bench::SweepJob> qkv_jobs(
+            3, {linearModel("qkv", M, 1024, 1024, true),
+                lib::ScheduleOptions::bwOptimized()});
+        qkv_jobs.push_back({linearModel("qkv", M, 1024, 3072, true),
+                            lib::ScheduleOptions::optimized()});
+        const auto qkv_runs = bench::runSweepPoints(executor, qkv_jobs);
         double three = 0;
         for (int i = 0; i < 3; ++i)
-            three += runModel(linearModel("qkv", M, 1024, 1024, true),
-                              lib::ScheduleOptions::bwOptimized())
-                         .result.ms;
-        auto fused = runModel(linearModel("qkv", M, 1024, 3072, true),
-                              lib::ScheduleOptions::optimized());
+            three += qkv_runs[i].result.ms;
+        const auto &fused = qkv_runs[3];
         Table q("QKV mapping (paper: 3 x 1.276 = 3.83 -> 3.584 ms)");
         q.header({"Mapping", "latency ms"});
         q.row({"3 separate MMs (BW-opt)", Table::num(three, 3)});
@@ -129,14 +146,21 @@ main()
             {"Final (pipeline + overlap)", true,
              lib::ScheduleOptions::optimized(), 17.98},
         };
+        std::vector<bench::SweepJob> level_jobs;
+        for (auto &lv : levels)
+            level_jobs.push_back(
+                {lib::bertLargeEncoder(6, 512, lv.fuse, 1), lv.opts});
+        const auto level_runs = bench::runSweepPoints(executor,
+                                                      level_jobs);
+
         Table e("BERT-Large 1st encoder end-to-end (paper speedup: "
                 "2.47x)");
         e.header({"Level", "paper ms", "sim ms", "sim TFLOPS",
                   "speedup vs no-opt"});
         double base = 0;
-        for (auto &lv : levels) {
-            auto r = runModel(lib::bertLargeEncoder(6, 512, lv.fuse, 1),
-                              lv.opts);
+        for (std::size_t i = 0; i < levels.size(); ++i) {
+            auto &lv = levels[i];
+            const auto &r = level_runs[i];
             if (base == 0)
                 base = r.result.ms;
             e.row({lv.name,

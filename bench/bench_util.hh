@@ -10,19 +10,30 @@
  * (the common case — a figure sweeps batch size or schedule options on
  * one datapath), the machine is reset() between runs instead of being
  * rebuilt, so a sweep pays the datapath construction cost once.
+ *
+ * Sweep binaries run their data points through lib::SweepExecutor
+ * (runSweepPoints below): each worker lane owns a machine, results land
+ * in point order, and tick counts are bit-identical for every --jobs
+ * value. Pass `--jobs N` (or RSN_JOBS=N; 0 = all hardware threads) to
+ * any sweep bench; the default stays 1 so paper-reproduction output is
+ * unchanged unless parallelism is asked for.
  */
 
 #ifndef RSN_BENCH_BENCH_UTIL_HH
 #define RSN_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/machine.hh"
 #include "lib/codegen.hh"
 #include "lib/model.hh"
 #include "lib/schedule.hh"
+#include "lib/sweep.hh"
 
 namespace rsn::bench {
 
@@ -35,6 +46,28 @@ struct EncoderRun {
     std::size_t packets = 0;
     std::uint64_t mm_flops = 0;
 };
+
+/** Compile + run @p model (timing-only) on a pristine @p mach and
+ *  gather the aggregates every figure/table bench reports. */
+inline EncoderRun
+runOnMachine(core::RsnMachine &mach, const lib::Model &model,
+             lib::ScheduleOptions opts)
+{
+    auto compiled = lib::compileModel(mach, model, opts);
+    EncoderRun out;
+    out.result = mach.run(compiled.program);
+    if (!out.result.completed) {
+        std::fprintf(stderr, "run did not complete:\n%s\n",
+                     out.result.diagnosis.c_str());
+    }
+    out.achieved_tflops = mach.achievedTflops(out.result);
+    out.ddr_read_mb = mach.ddrChannel().bytesRead() / 1e6;
+    out.ddr_write_mb = mach.ddrChannel().bytesWritten() / 1e6;
+    out.lpddr_read_mb = mach.lpddrChannel().bytesRead() / 1e6;
+    out.packets = compiled.program.size();
+    out.mm_flops = compiled.mm_flops;
+    return out;
+}
 
 /**
  * A reusable machine/run context for benchmark sweeps. machine() hands
@@ -62,21 +95,7 @@ class BenchContext
     run(const lib::Model &model, lib::ScheduleOptions opts,
         const core::MachineConfig &cfg = core::MachineConfig::vck190())
     {
-        core::RsnMachine &mach = machine(cfg);
-        auto compiled = lib::compileModel(mach, model, opts);
-        EncoderRun out;
-        out.result = mach.run(compiled.program);
-        if (!out.result.completed) {
-            std::fprintf(stderr, "run did not complete:\n%s\n",
-                         out.result.diagnosis.c_str());
-        }
-        out.achieved_tflops = mach.achievedTflops(out.result);
-        out.ddr_read_mb = mach.ddrChannel().bytesRead() / 1e6;
-        out.ddr_write_mb = mach.ddrChannel().bytesWritten() / 1e6;
-        out.lpddr_read_mb = mach.lpddrChannel().bytesRead() / 1e6;
-        out.packets = compiled.program.size();
-        out.mm_flops = compiled.mm_flops;
-        return out;
+        return runOnMachine(machine(cfg), model, opts);
     }
 
   private:
@@ -85,16 +104,73 @@ class BenchContext
 };
 
 /**
- * Compile + run @p model on the process-wide bench context. Figure/table
+ * Compile + run @p model on this thread's bench context. Figure/table
  * binaries call this per data point; equal-config points share one
- * machine.
+ * machine. The context is thread_local — one per sweep lane — so
+ * parallel sweeps never share a machine, and sequential callers keep
+ * the old single-context behavior (machine pinned across data points,
+ * which also removes the rebuild jitter ROADMAP noted in
+ * BM_FunctionalTinyEncoder).
  */
 inline EncoderRun
 runModel(const lib::Model &model, lib::ScheduleOptions opts,
          const core::MachineConfig &cfg = core::MachineConfig::vck190())
 {
-    static BenchContext ctx;
+    thread_local BenchContext ctx;
     return ctx.run(model, opts, cfg);
+}
+
+/** Compile + run @p model on a sweep lane's cached machine. */
+inline EncoderRun
+runOnLane(lib::SweepLane &lane, const lib::Model &model,
+          lib::ScheduleOptions opts,
+          const core::MachineConfig &cfg = core::MachineConfig::vck190())
+{
+    return runOnMachine(lane.machine(cfg), model, opts);
+}
+
+/** One timing sweep point for runSweepPoints. */
+struct SweepJob {
+    lib::Model model;
+    lib::ScheduleOptions opts;
+    core::MachineConfig cfg = core::MachineConfig::vck190();
+};
+
+/**
+ * Run every job on the executor; results are in job order regardless
+ * of --jobs. This is the loop body every fig/table sweep binary uses.
+ */
+inline std::vector<EncoderRun>
+runSweepPoints(const lib::SweepExecutor &ex,
+               const std::vector<SweepJob> &jobs)
+{
+    return ex.map<EncoderRun>(
+        jobs.size(), [&](lib::SweepLane &lane, std::size_t i) {
+            return runOnLane(lane, jobs[i].model, jobs[i].opts,
+                             jobs[i].cfg);
+        });
+}
+
+/**
+ * Parse the sweep-parallelism request for a bench binary: `--jobs N` or
+ * `--jobs=N` on the command line wins, else the RSN_JOBS environment
+ * variable, else 1 (sequential — the paper-reproduction default). 0
+ * means every hardware thread. Unrelated arguments are ignored, so
+ * benches can keep their existing flag handling.
+ */
+inline unsigned
+benchJobs(int argc, char **argv)
+{
+    long requested = 1;
+    if (const char *env = std::getenv("RSN_JOBS"))
+        requested = std::strtol(env, nullptr, 10);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+            requested = std::strtol(argv[i + 1], nullptr, 10);
+        else if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+            requested = std::strtol(argv[i] + 7, nullptr, 10);
+    }
+    return lib::SweepExecutor::resolveJobs(requested);
 }
 
 /** A single linear-layer model (for per-segment experiments). */

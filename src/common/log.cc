@@ -1,16 +1,32 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cstdarg>
+#include <mutex>
 #include <stdexcept>
 
 namespace rsn {
 
 namespace {
-int g_log_level = 0;
+std::atomic<int> g_log_level{0};
+
+/** Serializes warn/inform output so concurrent sweep lanes never
+ *  interleave mid-line. The level itself is atomic (read on hot-ish
+ *  paths); the mutex only guards the cold fprintf calls. */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
 } // namespace
 
-int logLevel() { return g_log_level; }
-void setLogLevel(int level) { g_log_level = level; }
+int logLevel() { return g_log_level.load(std::memory_order_relaxed); }
+void
+setLogLevel(int level)
+{
+    g_log_level.store(level, std::memory_order_relaxed);
+}
 
 namespace detail {
 
@@ -49,14 +65,17 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (g_log_level >= 1)
+    if (logLevel() >= 1) {
+        std::lock_guard<std::mutex> lock(logMutex());
         std::fprintf(stdout, "info: %s\n", msg.c_str());
+    }
 }
 
 } // namespace detail

@@ -6,6 +6,7 @@
 #include "fu/mem_fus.hh"
 #include "fu/mesh.hh"
 #include "fu/mme.hh"
+#include "sim/tile_pool.hh"
 
 namespace rsn::core {
 
@@ -121,6 +122,16 @@ RsnMachine::RsnMachine(const MachineConfig &cfg)
       lpddr_chan_(std::make_unique<mem::DramChannel>(eng_, cfg.lpddr)),
       topo_(buildRsnXnnTopology(cfg))
 {
+    // Warm the thread-local tile pool and the kernel registry before
+    // anything can hold tiles on this thread. Ordering matters at
+    // thread exit: thread_local/static destruction is reverse order of
+    // construction, so touching the pool here guarantees it outlives
+    // every machine-holding object constructed later on this thread
+    // (e.g. bench_util's cached BenchContext) — their destructors
+    // retire tiles into a still-live pool. Registry warming keeps
+    // sweep-lane first use off the startup-probe path entirely.
+    sim::TilePool::instance();
+    kernel::Registry::instance();
     eng_.setEventsPerTickBudget(cfg_.watchdog_events_per_tick);
     buildFus();
     buildStreams();

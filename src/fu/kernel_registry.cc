@@ -257,8 +257,12 @@ Registry::Registry()
         resolveStartupIsa(std::getenv("RSN_ISA"),
                           std::getenv("RSN_NONLINEAR"), probe_,
                           compiled_in);
+    // Once-guarded: the warning text covers the deprecated
+    // RSN_NONLINEAR alias and env fallbacks, and the ctor itself runs
+    // once, but rsn_warn_once also keeps re-exec'd registries in tests
+    // from nagging per sweep lane if this ever becomes re-entrant.
     if (!choice.warning.empty())
-        rsn_warn("%s", choice.warning.c_str());
+        rsn_warn_once("%s", choice.warning.c_str());
 
     for (const KernelTable *t : tables_)
         if (t->isa == choice.isa)
@@ -266,7 +270,7 @@ Registry::Registry()
     rsn_assert(active_ != nullptr, "startup ISA %s not in table list",
                isaName(choice.isa));
     source_ = choice.source;
-    detail::g_active = active_;
+    detail::g_active.store(active_, std::memory_order_relaxed);
 }
 
 Registry &
@@ -317,7 +321,7 @@ Registry::select(const KernelTable &table)
 {
     active_ = &table;
     source_ = "override";
-    detail::g_active = active_;
+    detail::g_active.store(active_, std::memory_order_relaxed);
 }
 
 bool
@@ -333,13 +337,15 @@ Registry::selectable(Isa isa) const
 
 namespace detail {
 
-const KernelTable *g_active = nullptr;
+std::atomic<const KernelTable *> g_active{nullptr};
 
 const KernelTable &
 activeSlow()
 {
+    // Safe under concurrent first use: the Meyers singleton serializes
+    // the ctor, and every later caller sees the published pointer.
     Registry::instance();  // ctor publishes g_active
-    return *g_active;
+    return *g_active.load(std::memory_order_relaxed);
 }
 
 } // namespace detail

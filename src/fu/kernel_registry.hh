@@ -56,6 +56,7 @@
 #ifndef RSN_FU_KERNEL_REGISTRY_HH
 #define RSN_FU_KERNEL_REGISTRY_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -172,29 +173,42 @@ Isa chooseBest(const CpuProbe &probe, const std::vector<Isa> &compiled_in);
 
 namespace detail {
 /** Active-table pointer behind active(); set eagerly when the Registry
- *  first initializes, null only before that. */
-extern const KernelTable *g_active;
+ *  first initializes, null only before that. Atomic so concurrent
+ *  first use from sweep lanes is a clean race: every table is a
+ *  constant-initialized const global, so a relaxed load of the pointer
+ *  is enough — there is no table *content* to publish. */
+extern std::atomic<const KernelTable *> g_active;
 [[gnu::cold]] const KernelTable &activeSlow();
 } // namespace detail
 
 /**
  * The active dispatch table — the hot accessor the MME / Mem FUs call
  * through. One pointer load; the null branch is taken at most once per
- * process (first touch before any explicit Registry use).
+ * thread (first touch before any explicit Registry use). Safe to call
+ * from any sweep lane.
  */
 inline const KernelTable &
 active()
 {
-    const KernelTable *t = detail::g_active;
+    const KernelTable *t =
+        detail::g_active.load(std::memory_order_relaxed);
     if (t) [[likely]]
         return *t;
     return detail::activeSlow();
 }
 
 /**
- * Process-wide kernel selection. Functional runs are single-threaded
- * (one engine drives every FU), so selection is not synchronized;
- * select at startup / between runs, not mid-run.
+ * Process-wide kernel selection.
+ *
+ * Threading contract (docs/datapath.md): `instance()` and `active()`
+ * are safe for concurrent first use — the Meyers singleton serializes
+ * construction and the g_active publish is atomic. Selection
+ * (`select`, `ScopedIsaOverride`, the env overrides read at startup)
+ * is **main-thread-only, with no sweep running**: a mid-sweep switch
+ * would hand different lanes different kernel tables and break the
+ * bit-identical --jobs guarantee. The sweep executor (lib/sweep.hh)
+ * touches `instance()` before spawning lanes so workers never race
+ * the startup probe.
  */
 class Registry
 {

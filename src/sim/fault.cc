@@ -232,8 +232,22 @@ FaultInjector::reset()
 FaultInjector::SiteId
 FaultInjector::registerSite(const std::string &name)
 {
+    checkOwner("registerSite");
     sites_.push_back(Site{name, fnv1a64(name), 0});
     return static_cast<SiteId>(sites_.size() - 1);
+}
+
+void
+FaultInjector::checkOwner(const char *op) const
+{
+#if RSN_FAULT_OWNER_CHECKS
+    rsn_assert(std::this_thread::get_id() == owner_,
+               "FaultInjector::%s from a foreign thread — injectors are "
+               "lane-owned, one per machine (docs/datapath.md, threading "
+               "contract)", op);
+#else
+    (void)op;
+#endif
 }
 
 std::uint64_t
@@ -318,6 +332,7 @@ FaultInjector::retryOutcome(Site &site, std::uint64_t seq, double rate,
 FaultInjector::Outcome
 FaultInjector::onLinkAdmit(SiteId s, Tick xfer_ticks)
 {
+    checkOwner("onLinkAdmit");
     Site &site = sites_[s];
     std::uint64_t seq = site.seq++;
     if (!inWindow(eng_.now()))
@@ -344,6 +359,7 @@ FaultInjector::onLinkAdmit(SiteId s, Tick xfer_ticks)
 FaultInjector::Outcome
 FaultInjector::onDramAccess(SiteId s, Tick service_ticks)
 {
+    checkOwner("onDramAccess");
     Site &site = sites_[s];
     std::uint64_t seq = site.seq++;
     if (!inWindow(eng_.now()))
@@ -357,6 +373,7 @@ void
 FaultInjector::stampChecksum(SiteId s, Chunk &c)
 {
     (void)s;
+    checkOwner("stampChecksum");
     if (!checksums_on_ || !c.hasData())
         return;
     // The payload moves through the network by reference (pooled tile),
@@ -370,6 +387,7 @@ FaultInjector::stampChecksum(SiteId s, Chunk &c)
 void
 FaultInjector::ingressCheck(SiteId s, Chunk &c)
 {
+    checkOwner("ingressCheck");
     if (!checksums_on_ || !c.hasData())
         return;
     auto it = protected_.find(c.data.data());

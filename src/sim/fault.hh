@@ -35,6 +35,20 @@
  * *detected*, never silently computed with — the guarantee the chaos
  * tier pins is "correct outputs or a structured report", with no third
  * outcome.
+ *
+ * ## Threading contract (docs/datapath.md)
+ *
+ * A FaultInjector is **lane-owned**, exactly like the machine that
+ * holds it: one injector per RsnMachine, one machine per sweep lane
+ * (lib/sweep.hh). All mutable state — per-site sequence numbers, the
+ * fault log, and the pointer-keyed protected-payload side table — is a
+ * plain member, never shared, never locked. The pointer keys are
+ * lane-unique because tile payloads come from the lane's thread-local
+ * TilePool and tiles never cross lanes, so two lanes can never collide
+ * on a key. Debug builds (and -DRSN_THREAD_CHECKS) assert that every
+ * hook fires on the thread that constructed the injector, so an
+ * accidental cross-lane call fails loudly instead of corrupting the
+ * schedule.
  */
 
 #ifndef RSN_SIM_FAULT_HH
@@ -42,11 +56,21 @@
 
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.hh"
 #include "common/types.hh"
+
+/** Owner-thread asserts on the injector hooks: free in Release (NDEBUG
+ *  compiles them out), on in Debug and whenever RSN_THREAD_CHECKS is
+ *  defined (the TSan CI configuration forces it). */
+#if !defined(NDEBUG) || defined(RSN_THREAD_CHECKS)
+#define RSN_FAULT_OWNER_CHECKS 1
+#else
+#define RSN_FAULT_OWNER_CHECKS 0
+#endif
 
 namespace rsn::sim {
 
@@ -237,6 +261,9 @@ class FaultInjector
     [[gnu::cold]] void hardFault(FaultKind kind, const Site &site,
                                  std::uint64_t seq, std::string detail);
 
+    /** Lane-ownership guard (see the threading contract above). */
+    void checkOwner(const char *op) const;
+
     FaultSpec spec_;
     Engine &eng_;
     bool checksums_on_;
@@ -247,6 +274,7 @@ class FaultInjector
     std::uint64_t total_ = 0;
     FaultRecord hard_fault_;
     bool hard_faulted_ = false;
+    std::thread::id owner_ = std::this_thread::get_id();
 };
 
 /** Deterministic FNV-1a style checksum of a payload (never 0). */

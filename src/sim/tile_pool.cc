@@ -95,13 +95,18 @@ GatherTile::window(std::uint64_t off, std::uint64_t len)
 TilePool &
 TilePool::instance()
 {
-    static TilePool pool;
+    // One pool per thread: a sweep-executor worker lane gets its own
+    // pool the first time its machine touches a tile, so the pool (and
+    // its plain-integer refcounts) never need locking. See the
+    // threading contract in the header / docs/datapath.md.
+    thread_local TilePool pool;
     return pool;
 }
 
 TileRef
 TilePool::acquire(std::uint64_t elems)
 {
+    checkOwner("acquire");
     rsn_assert(elems > 0, "empty tile");
     std::uint32_t bucket = bucketFor(elems);
     rsn_assert(bucket < kBuckets, "tile too large: %llu elems",
@@ -130,6 +135,7 @@ TilePool::acquire(std::uint64_t elems)
 void
 TilePool::retire(detail::TileHdr *h)
 {
+    checkOwner("retire");
     rsn_assert(h->pool == this, "tile retired to foreign pool");
     rsn_assert(live_ > 0, "pool live-count underflow");
     --live_;

@@ -28,9 +28,19 @@
  * in place when the caller is already the only owner, a copy into a
  * freshly acquired tile when anyone else can still read the buffer.
  *
- * The simulator is single-threaded, so refcounts are plain integers and
- * the pool needs no locking. `TilePool::instance()` is the process-wide
- * pool every producer uses; independent pools can be created in tests.
+ * ## Threading contract (docs/datapath.md "Threading contract")
+ *
+ * A pool — and every tile it owns — belongs to exactly one thread: the
+ * *lane* that created it. One simulated machine runs entirely on one
+ * thread, so refcounts stay plain integers and the pool free lists need
+ * no locking even when N machines sweep in parallel (lib/sweep.hh):
+ * each worker lane gets its own pool because `TilePool::instance()` is
+ * **thread-local**, and tiles must never cross lanes. Debug builds
+ * enforce the contract with an owning-thread check in acquire/retire,
+ * so a leaked cross-lane tile fails loudly (rsn_panic naming the
+ * contract) instead of silently corrupting a free list or racing a
+ * refcount. Independent pools can still be created directly in tests —
+ * they are owned by the constructing thread the same way.
  */
 
 #ifndef RSN_SIM_TILE_POOL_HH
@@ -40,9 +50,19 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <thread>
 #include <utility>
 
 #include "common/log.hh"
+
+/** Owning-thread checks on the tile pool: on in debug builds (the
+ *  Release hot path stays branch-free), or force with
+ *  -DRSN_THREAD_CHECKS (the TSan CI job does). */
+#if !defined(NDEBUG) || defined(RSN_THREAD_CHECKS)
+#define RSN_POOL_OWNER_CHECKS 1
+#else
+#define RSN_POOL_OWNER_CHECKS 0
+#endif
 
 namespace rsn::sim {
 
@@ -55,7 +75,11 @@ struct TileHdr {
     TilePool *pool;      ///< Owning pool (for release on last unref).
     TileHdr *next;       ///< Free-list link while retired.
     std::uint64_t cap;   ///< Element capacity (the bucket size).
-    std::uint32_t refs;  ///< Plain refcount; the sim is single-threaded.
+    /** Plain (non-atomic) refcount: a tile lives and dies on the one
+     *  lane thread that owns its pool, so refs never race. Cross-lane
+     *  sharing is a contract violation the pool's owning-thread check
+     *  catches in debug builds. */
+    std::uint32_t refs;
     std::uint32_t bucket;
 
     float *payload() { return reinterpret_cast<float *>(this + 1); }
@@ -330,12 +354,20 @@ class GatherTile
 class TilePool
 {
   public:
-    TilePool() = default;
+    TilePool() : owner_(std::this_thread::get_id()) {}
     ~TilePool();
     TilePool(const TilePool &) = delete;
     TilePool &operator=(const TilePool &) = delete;
 
-    /** The process-wide pool used by makeDataChunk and the FUs. */
+    /**
+     * The calling thread's lane-owned pool (thread-local): the one
+     * makeDataChunk and the FUs use. Every machine built and run on a
+     * thread draws all its tiles from that thread's pool, which is what
+     * keeps refcounts non-atomic under the parallel sweep executor.
+     * RsnMachine's constructor touches this before any tile exists so
+     * the pool outlives machine-holding objects on the same thread
+     * (thread-local destruction runs in reverse construction order).
+     */
     static TilePool &instance();
 
     /**
@@ -368,6 +400,23 @@ class TilePool
 
     void retire(detail::TileHdr *h);
 
+    /** Owning-thread check (debug builds): tiles must not cross lanes. */
+    void
+    checkOwner(const char *op) const
+    {
+#if RSN_POOL_OWNER_CHECKS
+        rsn_assert(std::this_thread::get_id() == owner_,
+                   "TilePool::%s from a foreign thread — tiles are "
+                   "lane-owned and must not cross sweep lanes "
+                   "(docs/datapath.md, threading contract)",
+                   op);
+#else
+        (void)op;
+#endif
+    }
+
+    /** The lane (thread) this pool and all its tiles belong to. */
+    std::thread::id owner_;
     std::array<detail::TileHdr *, kBuckets> free_{};
     std::uint64_t buffers_allocated_ = 0;
     std::uint64_t acquires_ = 0;

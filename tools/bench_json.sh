@@ -48,9 +48,16 @@ for raw in raws:
             entry["cpu_time_ns"] = b.get("cpu_time", 0) * 1e6
         # The benchmark's SetLabel — for the payload-kernel benches this
         # is the runtime-selected ISA table ("avx512", "scalar", ...),
-        # so the snapshot records which kernels produced each series.
-        if b.get("label"):
-            entry["isa"] = b["label"]
+        # so the snapshot records which kernels produced each series;
+        # the sweep-executor series (BM_SweepThroughput/{1,4,8}) label
+        # their lane count as "jobs=N" instead, recorded as an integer
+        # so the scaling trajectory is machine-readable.
+        label = b.get("label")
+        if label:
+            if label.startswith("jobs="):
+                entry["jobs"] = int(label[len("jobs="):])
+            else:
+                entry["isa"] = label
         for counter in ("allocs_per_event", "allocs_per_chunk",
                         "allocs_per_tile"):
             if counter in b:

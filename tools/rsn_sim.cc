@@ -26,6 +26,14 @@
  *                                     "key=value,..." (sim/fault.hh) or
  *                                     the preset name "chaos"
  *     --fault-seed N                  seed for the fault schedule
+ *     --sweep-batch LIST              sweep mode: run the model once per
+ *                                     batch size in the comma-separated
+ *                                     LIST (e.g. 1,2,3,6,12,24) and
+ *                                     print one summary row per point
+ *     --jobs N                        worker lanes for --sweep-batch
+ *                                     (default 1; 0 = all hardware
+ *                                     threads). Results are bit-
+ *                                     identical for every N.
  *
  * Exit codes:
  *   0  run completed (outputs verified when --functional)
@@ -40,6 +48,7 @@
  *   rsn-sim --model tiny --functional
  *   rsn-sim --model tiny --functional --fault-spec chaos --fault-seed 7
  *   rsn-sim --model bert --trace /tmp/rsn.json
+ *   rsn-sim --model bert --sweep-batch 1,2,3,6,12,24 --jobs 8
  */
 
 #include <cstdio>
@@ -47,6 +56,8 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+
+#include <vector>
 
 #include "core/machine.hh"
 #include "core/power.hh"
@@ -56,6 +67,7 @@
 #include "lib/model.hh"
 #include "lib/runner.hh"
 #include "lib/segmenter.hh"
+#include "lib/sweep.hh"
 #include "ref/ref_math.hh"
 
 namespace {
@@ -77,6 +89,8 @@ struct Options {
     std::string fault_spec;
     std::uint64_t fault_seed = 0;
     bool fault_seed_set = false;
+    std::string sweep_batch;
+    long jobs = 1;
 };
 
 void
@@ -128,7 +142,11 @@ parse(int argc, char **argv)
         else if (a == "--fault-seed") {
             o.fault_seed = std::strtoull(next().c_str(), nullptr, 10);
             o.fault_seed_set = true;
-        } else
+        } else if (a == "--sweep-batch")
+            o.sweep_batch = next();
+        else if (a == "--jobs")
+            o.jobs = std::strtol(next().c_str(), nullptr, 10);
+        else
             usage();
     }
     return o;
@@ -169,20 +187,23 @@ runMain(const Options &o)
         }
     }
 
-    lib::Model model;
-    if (o.model == "bert")
-        model = lib::bertLargeEncoder(o.batch, o.seq, o.fuse_qkv,
-                                      o.layers);
-    else if (o.model == "vit")
-        model = lib::vitEncoder(o.batch, o.fuse_qkv, o.layers);
-    else if (o.model == "ncf")
-        model = lib::ncf(o.batch);
-    else if (o.model == "mlp")
-        model = lib::mlp(o.batch);
-    else if (o.model == "tiny")
-        model = lib::tinyEncoder(o.batch, 32, 64, 4, 128, o.fuse_qkv);
-    else
-        usage();
+    const auto makeModel = [&](std::uint32_t batch) {
+        lib::Model m;
+        if (o.model == "bert")
+            m = lib::bertLargeEncoder(batch, o.seq, o.fuse_qkv, o.layers);
+        else if (o.model == "vit")
+            m = lib::vitEncoder(batch, o.fuse_qkv, o.layers);
+        else if (o.model == "ncf")
+            m = lib::ncf(batch);
+        else if (o.model == "mlp")
+            m = lib::mlp(batch);
+        else if (o.model == "tiny")
+            m = lib::tinyEncoder(batch, 32, 64, 4, 128, o.fuse_qkv);
+        else
+            usage();
+        return m;
+    };
+    lib::Model model = makeModel(o.batch);
 
     lib::ScheduleOptions sched;
     if (o.schedule == "opt")
@@ -221,6 +242,54 @@ runMain(const Options &o)
         std::fprintf(stderr, "%s\n", st.toString().c_str());
         return 3;
     }
+
+    if (!o.sweep_batch.empty()) {
+        // Sweep mode: one point per batch size, spread across --jobs
+        // worker lanes. Every point is a full checked run (functional
+        // verification included when --functional); outcomes and tick
+        // counts are independent of the jobs value.
+        std::vector<lib::SweepPoint> points;
+        std::vector<std::uint32_t> batches;
+        std::size_t pos = 0;
+        while (pos < o.sweep_batch.size()) {
+            std::size_t comma = o.sweep_batch.find(',', pos);
+            if (comma == std::string::npos)
+                comma = o.sweep_batch.size();
+            const int batch =
+                std::atoi(o.sweep_batch.substr(pos, comma - pos).c_str());
+            if (batch <= 0)
+                usage();
+            batches.push_back(batch);
+            points.push_back({cfg, makeModel(batch), sched, 2025});
+            pos = comma + 1;
+        }
+        const lib::SweepExecutor executor(
+            lib::SweepExecutor::resolveJobs(o.jobs));
+        const auto runs = lib::runSweep(executor, points);
+
+        std::printf("%s sweep, %s schedule, %u lanes\n", o.model.c_str(),
+                    o.schedule.c_str(), executor.jobs());
+        std::printf("  %8s %14s %12s %10s  %s\n", "batch", "ticks", "ms",
+                    "tasks/s", "status");
+        int rc = 0;
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            const auto &c = runs[i];
+            const auto &r = c.report.result;
+            const std::uint32_t batch = batches[i];
+            if (!c.report.ok())
+                rc = 4;
+            else if (!c.outputs_ok)
+                rc = rc ? rc : 1;
+            std::printf("  %8u %14llu %12.3f %10.1f  %s\n", batch,
+                        (unsigned long long)r.ticks, r.ms,
+                        r.ms > 0 ? batch / (r.ms / 1e3) : 0.0,
+                        !c.report.ok()
+                            ? c.report.status.toString().c_str()
+                            : (c.outputs_ok ? "ok" : "MISMATCH"));
+        }
+        return rc;
+    }
+
     core::RsnMachine mach(cfg);
 
     if (o.print_plan) {

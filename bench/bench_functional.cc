@@ -58,10 +58,13 @@ bestTable()
  * gather-view assembly, zero-copy staging, stream fast path, decoder
  * uOP cache) lands here. One item == one full simulated run carrying
  * FP32 payloads; compile/init are excluded from the timed region. The
- * machine is reset between runs, mirroring the BenchContext sweep
- * pattern. @p table picks the payload kernels: the runtime-selected
- * best (the headline) or the exact scalar reference (the A/B); the
- * series label in BENCH_sim.json is the table's ISA name.
+ * machine comes from a SweepLane — the same reset()-on-equal-config
+ * cache the sweep and serving tiers use — so every timed iteration
+ * runs the one warm machine instead of paying an untimed-but-variance-
+ * inducing rebuild, and the bench measures the production reuse path.
+ * @p table picks the payload kernels: the runtime-selected best (the
+ * headline) or the exact scalar reference (the A/B); the series label
+ * in BENCH_sim.json is the table's ISA name.
  */
 void
 functionalTinyEncoder(benchmark::State &state,
@@ -71,14 +74,11 @@ functionalTinyEncoder(benchmark::State &state,
     auto model = rsn::lib::tinyEncoder(/*batch=*/2, /*seq=*/64,
                                        /*hidden=*/128, /*heads=*/4,
                                        /*ff=*/256, /*fuse_qkv=*/true);
-    rsn::core::RsnMachine mach(
-        rsn::core::MachineConfig::vck190(/*functional=*/true));
-    bool first = true;
+    const auto cfg = rsn::core::MachineConfig::vck190(/*functional=*/true);
+    rsn::lib::SweepLane lane(0);
     for (auto _ : state) {
         state.PauseTiming();
-        if (!first)
-            mach.reset();
-        first = false;
+        auto &mach = lane.machine(cfg);
         auto compiled = rsn::lib::compileModel(
             mach, model, rsn::lib::ScheduleOptions::optimized());
         rsn::lib::initTensors(mach, compiled, 2025);
@@ -88,6 +88,8 @@ functionalTinyEncoder(benchmark::State &state,
             state.SkipWithError("functional run did not complete");
         benchmark::DoNotOptimize(r.ticks);
     }
+    if (lane.machinesBuilt() > 1)
+        state.SkipWithError("lane rebuilt a reusable machine");
     state.SetItemsProcessed(state.iterations());
     state.SetLabel(table.name);
 }
@@ -116,14 +118,12 @@ void
 BM_TimingOnlyTinyEncoder(benchmark::State &state)
 {
     auto model = rsn::lib::tinyEncoder(2, 64, 128, 4, 256, true);
-    rsn::core::RsnMachine mach(
-        rsn::core::MachineConfig::vck190(/*functional=*/false));
-    bool first = true;
+    const auto cfg =
+        rsn::core::MachineConfig::vck190(/*functional=*/false);
+    rsn::lib::SweepLane lane(0);
     for (auto _ : state) {
         state.PauseTiming();
-        if (!first)
-            mach.reset();
-        first = false;
+        auto &mach = lane.machine(cfg);
         auto compiled = rsn::lib::compileModel(
             mach, model, rsn::lib::ScheduleOptions::optimized());
         state.ResumeTiming();
@@ -132,6 +132,8 @@ BM_TimingOnlyTinyEncoder(benchmark::State &state)
             state.SkipWithError("timing run did not complete");
         benchmark::DoNotOptimize(r.ticks);
     }
+    if (lane.machinesBuilt() > 1)
+        state.SkipWithError("lane rebuilt a reusable machine");
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TimingOnlyTinyEncoder)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Serving-tier benchmarks (google-benchmark): the ROADMAP item 5
+ * headline. One item == one *request served* through the full serving
+ * stack — Poisson arrivals, bucketed batching, the lane-cached fleet,
+ * and the robustness machinery (deadlines/retries/shedding/breaker all
+ * armed but idle on the faults-off path). The Arg is the offered load
+ * in requests per simulated second; the recorded label carries it as
+ * "load=N" so tools/bench_json.sh turns the series into a goodput /
+ * tail-latency curve in BENCH_sim.json.
+ *
+ * Timing-only machines: these series measure the serving scheduler and
+ * simulator, not FP32 payload math (bench_functional owns that).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "serve/scheduler.hh"
+
+namespace {
+
+rsn::serve::ServeSpec
+timingSpec(double load)
+{
+    rsn::serve::ServeSpec spec;
+    spec.cfg = rsn::core::MachineConfig::vck190(/*functional=*/false);
+    spec.classes = rsn::serve::defaultClasses();
+    spec.policy.fleet = 2;
+    spec.policy.max_batch = 4;
+    spec.seed = 1;
+    spec.offered_load = load;
+    spec.num_requests = 48;
+    return spec;
+}
+
+/** End-to-end serving throughput at Arg(0) offered load: items/s is
+ *  requests served per wall second, the serving layer's cost figure. */
+void
+BM_ServingThroughput(benchmark::State &state)
+{
+    const auto spec = timingSpec(double(state.range(0)));
+    std::uint64_t served = 0;
+    for (auto _ : state) {
+        const auto rep = rsn::serve::runServing(spec);
+        if (rep.resolved() != rep.offered)
+            state.SkipWithError("serving left requests unresolved");
+        served += rep.served();
+        benchmark::DoNotOptimize(rep.horizon);
+    }
+    state.SetItemsProcessed(served);
+    state.SetLabel("load=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ServingThroughput)
+    ->Arg(10000)
+    ->Arg(40000)
+    ->Unit(benchmark::kMillisecond);
+
+/** Tail latency at Arg(0) offered load: the simulated p99 queue-to-
+ *  completion ticks land in the counters, so BENCH_sim.json records
+ *  the latency curve alongside the wall-clock cost of computing it. */
+void
+BM_ServingP99(benchmark::State &state)
+{
+    const auto spec = timingSpec(double(state.range(0)));
+    rsn::Tick p99 = 0, p50 = 0;
+    double goodput = 0;
+    for (auto _ : state) {
+        const auto rep = rsn::serve::runServing(spec);
+        if (rep.resolved() != rep.offered)
+            state.SkipWithError("serving left requests unresolved");
+        p99 = rep.p99;
+        p50 = rep.p50;
+        goodput = rep.goodput;
+        benchmark::DoNotOptimize(p99);
+    }
+    state.counters["p99_ticks"] = double(p99);
+    state.counters["p50_ticks"] = double(p50);
+    state.counters["goodput_rps"] = goodput;
+    state.SetItemsProcessed(state.iterations() * spec.num_requests);
+    state.SetLabel("load=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ServingP99)
+    ->Arg(10000)
+    ->Arg(40000)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

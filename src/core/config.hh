@@ -94,6 +94,21 @@ struct MachineConfig {
     bool operator==(const MachineConfig &) const = default;
 
     /**
+     * Equality modulo fault.seed: true when the two configs build the
+     * same datapath and arm the same fault sources, differing only in
+     * the fault schedule. A cached machine can serve such a config via
+     * reset() + setFaultSeed() instead of a rebuild (lib/sweep.hh lane
+     * reuse; the serving scheduler salts the seed per request).
+     */
+    bool
+    equalsIgnoringFaultSeed(const MachineConfig &o) const
+    {
+        MachineConfig a = *this;
+        a.fault.seed = o.fault.seed;
+        return a == o;
+    }
+
+    /**
      * Structural sanity check, run by RsnMachine before any topology is
      * built: FU counts, rates, widths and depths that used to fail as
      * mid-run asserts are rejected up front with a diagnosable Status.

@@ -230,6 +230,16 @@ RsnMachine::reset()
     ran_completed_ = false;
 }
 
+void
+RsnMachine::setFaultSeed(std::uint64_t seed)
+{
+    rsn_assert(resettable(),
+               "setFaultSeed on a machine whose run did not complete");
+    cfg_.fault.seed = seed;
+    if (injector_)
+        injector_->reseed(seed);
+}
+
 RunResult
 RsnMachine::run(const isa::RsnProgram &prog, Tick max_ticks)
 {

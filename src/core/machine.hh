@@ -136,6 +136,17 @@ class RsnMachine
     /** True when reset() may be called (no run yet, or it completed). */
     bool resettable() const { return !ran_ || ran_completed_; }
 
+    /**
+     * Re-arm the fault injector under a new seed without rebuilding the
+     * datapath. Legal exactly when reset() is: the serving scheduler
+     * (serve/scheduler.cc) salts one chaos seed per request, so a cached
+     * lane machine replays request after request with only the fault
+     * schedule changing. Rates, window, and policy must not change —
+     * those select checksum arming and hook wiring at construction.
+     * No-op (beyond recording the seed) when chaos is not armed.
+     */
+    void setFaultSeed(std::uint64_t seed);
+
     /** @{ Introspection for Fig. 16 / Table 5 / power model. */
     std::uint64_t totalFlops() const;
     double achievedTflops(const RunResult &r) const;

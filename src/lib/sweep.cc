@@ -10,14 +10,24 @@
 #include "common/log.hh"
 #include "fu/kernel_registry.hh"
 #include "lib/codegen.hh"
+#include "sim/tile_pool.hh"
 
 namespace rsn::lib {
 
 core::RsnMachine &
 SweepLane::machine(const core::MachineConfig &cfg)
 {
-    if (mach_ && cfg_ == cfg && mach_->resettable()) {
+    if (mach_ && mach_->resettable() &&
+        cfg_.equalsIgnoringFaultSeed(cfg)) {
+        // Same datapath, same fault sources — at most the fault *seed*
+        // differs (the serving scheduler salts one chaos seed per
+        // request). reset() rewinds, setFaultSeed re-arms the injector;
+        // both are identical in outcome to a cold build.
         mach_->reset();
+        if (cfg_.fault.seed != cfg.fault.seed) {
+            mach_->setFaultSeed(cfg.fault.seed);
+            cfg_.fault.seed = cfg.fault.seed;
+        }
         ++reused_;
     } else {
         // Config changed, first use, or the previous run did not
@@ -27,6 +37,20 @@ SweepLane::machine(const core::MachineConfig &cfg)
         ++built_;
     }
     return *mach_;
+}
+
+std::uint64_t
+SweepLane::discard()
+{
+    mach_.reset();
+    // A quarantine rebuild is the one moment pool growth can leak
+    // across requests: the dead machine's tiles have just retired to
+    // this thread's free lists, and the replacement machine re-acquires
+    // from scratch. Trim returns that storage to the system so a
+    // long-serving process's footprint stays bounded by its *live*
+    // fleet, not its fault history (pool-stat test in
+    // tests/sim/test_tile_pool.cc).
+    return sim::TilePool::instance().trim();
 }
 
 unsigned

@@ -83,6 +83,16 @@ class SweepLane
      */
     core::RsnMachine &machine(const core::MachineConfig &cfg);
 
+    /**
+     * Drop the cached machine and trim this thread's TilePool free
+     * lists back to the system. The circuit breaker calls this when it
+     * quarantines a lane slot (serve/scheduler.cc): the next machine()
+     * call is guaranteed a cold rebuild, and the dead machine's pooled
+     * buffers cannot accumulate across quarantine cycles. Returns the
+     * number of pooled buffers released.
+     */
+    std::uint64_t discard();
+
     /** @{ Reuse accounting (bench labels, tests). */
     std::size_t machinesBuilt() const { return built_; }
     std::size_t machinesReused() const { return reused_; }

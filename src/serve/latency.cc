@@ -1,0 +1,64 @@
+#include "serve/latency.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace rsn::serve {
+
+unsigned
+LatencyHistogram::bucketFor(Tick v)
+{
+    if (v < kSub)
+        return static_cast<unsigned>(v);
+    const unsigned top = std::bit_width(v) - 1;  // >= kSubBits
+    const unsigned shift = top - kSubBits;
+    return ((top - kSubBits + 1) << kSubBits) +
+           static_cast<unsigned>((v >> shift) & (kSub - 1));
+}
+
+Tick
+LatencyHistogram::bucketLowerBound(unsigned bucket)
+{
+    if (bucket < kSub)
+        return bucket;
+    const unsigned group = bucket >> kSubBits;
+    const unsigned sub = bucket & (kSub - 1);
+    const unsigned top = group + kSubBits - 1;
+    return (Tick(1) << top) + (Tick(sub) << (top - kSubBits));
+}
+
+void
+LatencyHistogram::record(Tick v)
+{
+    const unsigned b = bucketFor(v);
+    rsn_assert(b < kBuckets, "latency bucket out of range");
+    ++counts_[b];
+    ++count_;
+    if (v > max_)
+        max_ = v;
+    if (v < min_)
+        min_ = v;
+}
+
+Tick
+LatencyHistogram::quantilePermille(unsigned permille) const
+{
+    if (count_ == 0)
+        return 0;
+    if (permille < 1)
+        permille = 1;
+    if (permille > 1000)
+        permille = 1000;
+    const std::uint64_t rank =
+        (count_ * permille + 999) / 1000;  // ceil, >= 1
+    std::uint64_t cum = 0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        cum += counts_[b];
+        if (cum >= rank)
+            return bucketLowerBound(b);
+    }
+    return max_;  // unreachable: cum == count_ >= rank at the last bin
+}
+
+} // namespace rsn::serve

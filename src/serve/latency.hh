@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic log-bucketed latency histogram for the serving tier.
+ *
+ * Serving curves need quantiles over millions of per-request latencies
+ * without storing them, and the serving determinism contract
+ * (docs/robustness.md) needs the *reported* p50/p95/p99 to be
+ * bit-identical for a given request stream — so the histogram is pure
+ * integer arithmetic end to end. Buckets are octaves of the tick value
+ * subdivided into 2^kSubBits linear sub-buckets (HDR-style), giving a
+ * bounded relative error of 2^-kSubBits (12.5%) on quantiles; the exact
+ * maximum and minimum are tracked separately, so golden pins can assert
+ * precise tick counts (tests/serve/test_serving_chaos.cc pins the tiny
+ * encoder's 11084).
+ *
+ * Quantiles take a rank in permille (p99 == 990) rather than a double:
+ * rank selection is `ceil(count * permille / 1000)` in 64-bit integers,
+ * and the returned value is the selected bucket's lower bound — no
+ * floating point anywhere, so the report bytes cannot drift across
+ * platforms, optimization levels, or --jobs values.
+ */
+
+#ifndef RSN_SERVE_LATENCY_HH
+#define RSN_SERVE_LATENCY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace rsn::serve {
+
+class LatencyHistogram
+{
+  public:
+    /** Sub-bucket resolution: 2^3 = 8 linear bins per octave. */
+    static constexpr unsigned kSubBits = 3;
+    static constexpr unsigned kSub = 1u << kSubBits;
+    /** Values below 2^kSubBits map one-to-one; every octave above
+     *  contributes kSub buckets, up to the top bit of a 64-bit tick. */
+    static constexpr unsigned kBuckets = (64 - kSubBits + 1) * kSub;
+
+    void record(Tick v);
+
+    std::uint64_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    /** Exact extremes (not bucket bounds). Zero / kTickMax when empty. */
+    Tick max() const { return count_ ? max_ : 0; }
+    Tick min() const { return count_ ? min_ : 0; }
+
+    /**
+     * Lower bound of the bucket holding the rank-`ceil(count*p/1000)`
+     * sample (1-based, values ascending). permille is clamped to
+     * [1, 1000]; returns 0 on an empty histogram.
+     */
+    Tick quantilePermille(unsigned permille) const;
+
+    Tick p50() const { return quantilePermille(500); }
+    Tick p95() const { return quantilePermille(950); }
+    Tick p99() const { return quantilePermille(990); }
+
+    bool operator==(const LatencyHistogram &) const = default;
+
+    /** @{ Bucket mapping, exposed for the unit tests. */
+    static unsigned bucketFor(Tick v);
+    static Tick bucketLowerBound(unsigned bucket);
+    /** @} */
+
+  private:
+    std::uint64_t counts_[kBuckets] = {};
+    std::uint64_t count_ = 0;
+    Tick max_ = 0;
+    Tick min_ = kTickMax;
+};
+
+} // namespace rsn::serve
+
+#endif // RSN_SERVE_LATENCY_HH

@@ -229,6 +229,14 @@ FaultInjector::reset()
     hard_faulted_ = false;
 }
 
+void
+FaultInjector::reseed(std::uint64_t seed)
+{
+    checkOwner("reseed");
+    spec_.seed = seed;
+    reset();
+}
+
 FaultInjector::SiteId
 FaultInjector::registerSite(const std::string &name)
 {

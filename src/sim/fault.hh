@@ -232,6 +232,16 @@ class FaultInjector
      */
     void reset();
 
+    /**
+     * reset() plus a new seed: re-arm the injector for another run of the
+     * same program under a *different* fault schedule. The serving
+     * scheduler (serve/scheduler.cc) salts one chaos seed per request so
+     * a cached lane machine can replay request after request without a
+     * rebuild — only the seed differs; rates, window, and policy are
+     * unchanged (so checksum arming and site wiring stay valid).
+     */
+    void reseed(std::uint64_t seed);
+
   private:
     struct Site {
         std::string name;

@@ -118,6 +118,7 @@ TilePool::acquire(std::uint64_t elems)
         h->next = nullptr;
         h->refs = 1;
         ++reuses_;
+        free_bytes_ -= h->cap * sizeof(float);
         return TileRef{h};
     }
     std::uint64_t cap = std::uint64_t(1) << (bucket + kMinElemsLog2);
@@ -141,12 +142,14 @@ TilePool::retire(detail::TileHdr *h)
     --live_;
     h->next = free_[h->bucket];
     free_[h->bucket] = h;
+    free_bytes_ += h->cap * sizeof(float);
 }
 
-TilePool::~TilePool()
+std::uint64_t
+TilePool::trim()
 {
-    // Live tiles (refs > 0) are owned by their TileRefs; only retired
-    // buffers sit on the free lists. A TileRef must not outlive its pool.
+    checkOwner("trim");
+    std::uint64_t freed = 0;
     for (detail::TileHdr *&head : free_) {
         while (head) {
             detail::TileHdr *next = head->next;
@@ -154,8 +157,19 @@ TilePool::~TilePool()
             ::operator delete(static_cast<void *>(head),
                               std::align_val_t{64});
             head = next;
+            ++freed;
         }
     }
+    buffers_freed_ += freed;
+    free_bytes_ = 0;
+    return freed;
+}
+
+TilePool::~TilePool()
+{
+    // Live tiles (refs > 0) are owned by their TileRefs; only retired
+    // buffers sit on the free lists. A TileRef must not outlive its pool.
+    trim();
 }
 
 } // namespace rsn::sim

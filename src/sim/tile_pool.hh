@@ -381,7 +381,23 @@ class TilePool
     std::uint64_t acquires() const { return acquires_; }
     std::uint64_t reuses() const { return reuses_; }
     std::uint64_t liveTiles() const { return live_; }
+    std::uint64_t buffersFreed() const { return buffers_freed_; }
+    /** Bytes currently parked on the free lists (payload only). */
+    std::uint64_t freeBytes() const { return free_bytes_; }
     /** @} */
+
+    /**
+     * Arena reset: free every retired buffer back to the system and
+     * return how many were released. Live tiles (refs > 0) are
+     * untouched — they retire to the (now empty) free lists as usual.
+     * This is the quarantine hook for long-running serving processes
+     * (serve/scheduler.cc): one faulted run can balloon the pool with
+     * oversized buckets its retry never needs again, and without a trim
+     * that growth is carried for the life of the lane thread. Callers
+     * on the steady-state path should NOT trim — the free lists are the
+     * whole point of the pool; trim only at machine-rebuild boundaries.
+     */
+    std::uint64_t trim();
 
   private:
     friend class TileRef;
@@ -422,6 +438,8 @@ class TilePool
     std::uint64_t acquires_ = 0;
     std::uint64_t reuses_ = 0;
     std::uint64_t live_ = 0;
+    std::uint64_t buffers_freed_ = 0;
+    std::uint64_t free_bytes_ = 0;
 };
 
 inline void

@@ -189,6 +189,77 @@ TEST(SweepLaneTest, ReusesMachineAcrossEqualConfigsOnly)
     EXPECT_EQ(lane.machinesReused(), 1u);
 }
 
+TEST(SweepLaneTest, FaultSeedOnlyChangeReusesViaReseed)
+{
+    // The serving scheduler salts one chaos seed per dispatch, so a
+    // config that differs from the cached one *only* in fault.seed must
+    // take the reset()+setFaultSeed path, not a rebuild — and the
+    // reseeded machine must behave exactly like a cold build with that
+    // seed (the fault schedule is a pure function of the spec).
+    auto cfg = core::MachineConfig::vck190(/*functional=*/true);
+    cfg.fault = sim::FaultSpec::chaosPreset(/*seed=*/11);
+
+    auto runOnce = [&](core::RsnMachine &mach) {
+        auto compiled = lib::compileModel(
+            mach, tinyModel(), lib::ScheduleOptions::optimized());
+        return lib::runModelChecked(mach, tinyModel(), compiled, 2025);
+    };
+
+    lib::SweepLane lane(0);
+    auto first = runOnce(lane.machine(cfg));
+
+    auto reseeded = cfg;
+    reseeded.fault.seed = 12;
+    // Completed run + fault-seed-only change: reuse, with the injector
+    // re-armed under the new seed.
+    if (first.report.ok()) {
+        core::RsnMachine &m = lane.machine(reseeded);
+        EXPECT_EQ(lane.machinesReused(), 1u);
+        EXPECT_EQ(m.config().fault.seed, 12u);
+        auto warm = runOnce(m);
+
+        lib::SweepLane cold_lane(1);
+        auto cold = runOnce(cold_lane.machine(reseeded));
+        EXPECT_EQ(warm.report.result.ticks, cold.report.result.ticks);
+        EXPECT_EQ(warm.report.status.code, cold.report.status.code);
+        EXPECT_EQ(warm.report.faults_injected, cold.report.faults_injected);
+    } else {
+        // The seed-11 run hard-faulted: non-resettable, so the lane
+        // must rebuild even for the seed-only change.
+        lane.machine(reseeded);
+        EXPECT_EQ(lane.machinesBuilt(), 2u);
+    }
+    // A rate change is never a reuse, whatever the seed.
+    auto harsher = reseeded;
+    harsher.fault.link_drop_rate = 0.5;
+    const auto built_before = lane.machinesBuilt();
+    lane.machine(harsher);
+    EXPECT_EQ(lane.machinesBuilt(), built_before + 1);
+}
+
+TEST(SweepLaneTest, DiscardForcesRebuildAndTrimsPool)
+{
+    const auto cfg = core::MachineConfig::vck190(/*functional=*/true);
+    lib::SweepLane lane(0);
+    core::RsnMachine &first = lane.machine(cfg);
+    auto compiled = lib::compileModel(first, tinyModel(),
+                                      lib::ScheduleOptions::optimized());
+    lib::initTensors(first, compiled, 2025);
+    ASSERT_TRUE(first.run(compiled.program).completed);
+
+    // Quarantine: the cached machine dies and its pooled buffers are
+    // returned to the system (the breaker's anti-leak hook).
+    const std::uint64_t freed_before =
+        sim::TilePool::instance().buffersFreed();
+    lane.discard();
+    EXPECT_GT(sim::TilePool::instance().buffersFreed(), freed_before);
+    EXPECT_EQ(sim::TilePool::instance().freeBytes(), 0u);
+
+    // Equal config after a discard still rebuilds.
+    lane.machine(cfg);
+    EXPECT_EQ(lane.machinesBuilt(), 2u);
+}
+
 TEST(SweepExecutor, HandlesEmptyAndUndersizedSweeps)
 {
     const lib::SweepExecutor ex(8);

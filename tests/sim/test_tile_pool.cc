@@ -87,6 +87,55 @@ TEST(TilePool, ChunkCopySharesPayloadByRefcount)
     EXPECT_EQ(d.toVector(), (std::vector<float>{1.f, 2.f, 3.f, 4.f}));
 }
 
+TEST(TilePool, TrimReleasesRetiredBuffersAndResetsFreeBytes)
+{
+    TilePool pool;
+    // Park three buffers of two sizes on the free lists.
+    {
+        TileRef a = pool.acquire(64);
+        TileRef b = pool.acquire(64);
+        TileRef c = pool.acquire(1024);
+        (void)a;
+        (void)b;
+        (void)c;
+    }
+    EXPECT_EQ(pool.liveTiles(), 0u);
+    EXPECT_EQ(pool.freeBytes(), (64 + 64 + 1024) * sizeof(float));
+    EXPECT_EQ(pool.buffersFreed(), 0u);
+
+    // Arena reset: everything retired goes back to the system.
+    EXPECT_EQ(pool.trim(), 3u);
+    EXPECT_EQ(pool.freeBytes(), 0u);
+    EXPECT_EQ(pool.buffersFreed(), 3u);
+
+    // The pool keeps working after a trim — but the next acquire is a
+    // fresh allocation, not a free-list hit.
+    const std::uint64_t reuses_before = pool.reuses();
+    TileRef d = pool.acquire(64);
+    EXPECT_TRUE(d);
+    EXPECT_EQ(pool.reuses(), reuses_before);
+    EXPECT_EQ(pool.buffersAllocated(), 4u);
+
+    // Live tiles are untouched by trim (only free lists drain).
+    EXPECT_EQ(pool.trim(), 0u);
+    EXPECT_FLOAT_EQ(*d.mutableData() = 1.5f, 1.5f);
+}
+
+TEST(TilePool, FreeBytesTracksRetireAndReuse)
+{
+    TilePool pool;
+    {
+        TileRef a = pool.acquire(64);
+        (void)a;
+    }
+    const std::uint64_t parked = pool.freeBytes();
+    EXPECT_EQ(parked, 64 * sizeof(float));
+    // A free-list hit takes the buffer off the parked account.
+    TileRef b = pool.acquire(64);
+    EXPECT_EQ(pool.freeBytes(), 0u);
+    EXPECT_EQ(pool.reuses(), 1u);
+}
+
 TEST(TilePool, MakeTileChunkValidatesCapacity)
 {
     TilePool pool;

@@ -33,9 +33,11 @@ if [[ ! -f "$BASELINE" ]]; then
     exit 2
 fi
 
-if [[ ! -x "$BUILD/bench_micro_sim" ]]; then
+if [[ ! -x "$BUILD/bench_micro_sim" || ! -x "$BUILD/bench_functional" ||
+      ! -x "$BUILD/bench_serving" ]]; then
     cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
-    cmake --build "$BUILD" -j "$(nproc)" --target bench_micro_sim
+    cmake --build "$BUILD" -j "$(nproc)" \
+        --target bench_micro_sim bench_functional bench_serving
 fi
 
 CURRENT="$(mktemp --suffix=.json)"

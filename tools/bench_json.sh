@@ -10,7 +10,7 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 OUT="${2:-BENCH_sim.json}"
 
-for bin in bench_micro_sim bench_functional; do
+for bin in bench_micro_sim bench_functional bench_serving; do
     if [[ ! -x "$BUILD/$bin" ]]; then
         echo "error: $BUILD/$bin not built (run tools/smoke.sh first)" >&2
         exit 1
@@ -19,13 +19,16 @@ done
 
 RAW_MICRO="$(mktemp)"
 RAW_FUNC="$(mktemp)"
-trap 'rm -f "$RAW_MICRO" "$RAW_FUNC"' EXIT
+RAW_SERVE="$(mktemp)"
+trap 'rm -f "$RAW_MICRO" "$RAW_FUNC" "$RAW_SERVE"' EXIT
 "$BUILD/bench_micro_sim" --benchmark_format=json --benchmark_min_time=0.5 \
     >"$RAW_MICRO" 2>/dev/null
 "$BUILD/bench_functional" --benchmark_format=json --benchmark_min_time=0.5 \
     >"$RAW_FUNC" 2>/dev/null
+"$BUILD/bench_serving" --benchmark_format=json --benchmark_min_time=0.5 \
+    >"$RAW_SERVE" 2>/dev/null
 
-python3 - "$RAW_MICRO" "$RAW_FUNC" "$OUT" <<'EOF'
+python3 - "$RAW_MICRO" "$RAW_FUNC" "$RAW_SERVE" "$OUT" <<'EOF'
 import json
 import sys
 
@@ -50,16 +53,21 @@ for raw in raws:
         # is the runtime-selected ISA table ("avx512", "scalar", ...),
         # so the snapshot records which kernels produced each series;
         # the sweep-executor series (BM_SweepThroughput/{1,4,8}) label
-        # their lane count as "jobs=N" instead, recorded as an integer
-        # so the scaling trajectory is machine-readable.
+        # their lane count as "jobs=N" instead, and the serving series
+        # (BM_ServingThroughput / BM_ServingP99) their offered load as
+        # "load=N" — both recorded as integers so the scaling and
+        # goodput/latency curves are machine-readable.
         label = b.get("label")
         if label:
             if label.startswith("jobs="):
                 entry["jobs"] = int(label[len("jobs="):])
+            elif label.startswith("load="):
+                entry["offered_load"] = int(label[len("load="):])
             else:
                 entry["isa"] = label
         for counter in ("allocs_per_event", "allocs_per_chunk",
-                        "allocs_per_tile"):
+                        "allocs_per_tile", "p99_ticks", "p50_ticks",
+                        "goodput_rps"):
             if counter in b:
                 entry[counter] = b[counter]
         out["events_per_second"][b["name"]] = entry

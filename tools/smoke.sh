@@ -40,4 +40,28 @@ for seed in 1 2; do
     fi
 done
 
+# Chaos-serving smoke (docs/robustness.md, "Serving under faults"): the
+# fault-tolerant serving scheduler over two chaos seeds and three
+# offered-load points. The printed reports are the determinism artifact:
+# stdout must be byte-identical between --jobs 1 and --jobs 4 (load
+# points merely move between worker lanes), and the run must drain —
+# every request ok/retried/shed/timeout/faulted, never a hang (exit 0).
+for seed in 1 2; do
+    for jobs in 1 4; do
+        if ! "$BUILD/rsn-serve" --load 10000,20000,40000 --requests 48 \
+            --fault-seed "$seed" --seed "$seed" --deadline 2000000 \
+            --jobs "$jobs" >"$BUILD/serve_${seed}_j${jobs}.out" 2>/dev/null
+        then
+            echo "smoke: chaos serving seed $seed jobs=$jobs failed" >&2
+            cat "$BUILD/serve_${seed}_j${jobs}.out" >&2
+            exit 1
+        fi
+    done
+    if ! cmp -s "$BUILD/serve_${seed}_j1.out" "$BUILD/serve_${seed}_j4.out"; then
+        echo "smoke: chaos serving seed $seed differs across --jobs" >&2
+        diff "$BUILD/serve_${seed}_j1.out" "$BUILD/serve_${seed}_j4.out" >&2
+        exit 1
+    fi
+done
+
 echo "smoke: OK"

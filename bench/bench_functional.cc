@@ -63,19 +63,28 @@ bestTable()
  * runs the one warm machine instead of paying an untimed-but-variance-
  * inducing rebuild, and the bench measures the production reuse path.
  * @p table picks the payload kernels: the runtime-selected best (the
- * headline) or the exact scalar reference (the A/B); the series label
- * in BENCH_sim.json is the table's ISA name.
+ * headline) or the exact scalar reference (the A/B); @p dtype is the
+ * precision policy for weights and activations (ISSUE 10). The series
+ * label in BENCH_sim.json carries both the table's ISA name and the
+ * dtype, and the simulated end-to-end tick count lands in the counters
+ * — the bf16 series must sit strictly below the f32 series there
+ * (byte-true wire traffic: 16-bit tiles halve link and DRAM time).
  */
 void
 functionalTinyEncoder(benchmark::State &state,
-                      const rsn::kernel::KernelTable &table)
+                      const rsn::kernel::KernelTable &table,
+                      rsn::Dtype dtype)
 {
     rsn::kernel::ScopedIsaOverride pin(table);
     auto model = rsn::lib::tinyEncoder(/*batch=*/2, /*seq=*/64,
                                        /*hidden=*/128, /*heads=*/4,
                                        /*ff=*/256, /*fuse_qkv=*/true);
-    const auto cfg = rsn::core::MachineConfig::vck190(/*functional=*/true);
+    auto cfg = rsn::core::MachineConfig::vck190(/*functional=*/true);
+    cfg.precision.linear_weights = dtype;
+    cfg.precision.linear_activations = dtype;
+    cfg.precision.attention_activations = dtype;
     rsn::lib::SweepLane lane(0);
+    rsn::Tick ticks = 0;
     for (auto _ : state) {
         state.PauseTiming();
         auto &mach = lane.machine(cfg);
@@ -86,20 +95,34 @@ functionalTinyEncoder(benchmark::State &state,
         auto r = mach.run(compiled.program);
         if (!r.completed)
             state.SkipWithError("functional run did not complete");
+        ticks = r.ticks;
         benchmark::DoNotOptimize(r.ticks);
     }
     if (lane.machinesBuilt() > 1)
         state.SkipWithError("lane rebuilt a reusable machine");
     state.SetItemsProcessed(state.iterations());
-    state.SetLabel(table.name);
+    state.counters["ticks"] = double(ticks);
+    state.SetLabel(std::string(table.name) + " dtype=" +
+                   rsn::dtypeName(dtype));
 }
 
 void
 BM_FunctionalTinyEncoder(benchmark::State &state)
 {
-    functionalTinyEncoder(state, bestTable());
+    functionalTinyEncoder(state, bestTable(), rsn::Dtype::F32);
 }
 BENCHMARK(BM_FunctionalTinyEncoder)->Unit(benchmark::kMillisecond);
+
+/** The same program under the all-bf16 precision policy: typed tiles
+ *  on every wire, FP32 accumulation in the FUs. Wall-clock cost is the
+ *  interesting delta vs the f32 series (conversion kernels on every
+ *  load/store); the recorded simulated ticks must be strictly lower. */
+void
+BM_FunctionalTinyEncoderBf16(benchmark::State &state)
+{
+    functionalTinyEncoder(state, bestTable(), rsn::Dtype::Bf16);
+}
+BENCHMARK(BM_FunctionalTinyEncoderBf16)->Unit(benchmark::kMillisecond);
 
 /** Same workload on the exact scalar kernel table (scalar GEMM loop,
  *  libm erf/exp): the accuracy-reference configuration the golden tier
@@ -108,7 +131,8 @@ void
 BM_FunctionalTinyEncoderExact(benchmark::State &state)
 {
     functionalTinyEncoder(state,
-                          *rsn::kernel::Registry::instance().find("scalar"));
+                          *rsn::kernel::Registry::instance().find("scalar"),
+                          rsn::Dtype::F32);
 }
 BENCHMARK(BM_FunctionalTinyEncoderExact)->Unit(benchmark::kMillisecond);
 

@@ -17,15 +17,22 @@
 
 #include <string>
 
+#include "common/dtype.hh"
 #include "serve/scheduler.hh"
 
 namespace {
 
 rsn::serve::ServeSpec
-timingSpec(double load)
+timingSpec(double load, rsn::Dtype dtype = rsn::Dtype::F32)
 {
     rsn::serve::ServeSpec spec;
     spec.cfg = rsn::core::MachineConfig::vck190(/*functional=*/false);
+    // The precision policy moves timing even on timing-only machines:
+    // chunk dtype is stamped by codegen, so a bf16 fleet serves with
+    // half the wire/DRAM bytes per request (ISSUE 10).
+    spec.cfg.precision.linear_weights = dtype;
+    spec.cfg.precision.linear_activations = dtype;
+    spec.cfg.precision.attention_activations = dtype;
     spec.classes = rsn::serve::defaultClasses();
     spec.policy.fleet = 2;
     spec.policy.max_batch = 4;
@@ -83,6 +90,38 @@ BM_ServingP99(benchmark::State &state)
 }
 BENCHMARK(BM_ServingP99)
     ->Arg(10000)
+    ->Arg(40000)
+    ->Unit(benchmark::kMillisecond);
+
+/** The high-load latency point again on a bf16 fleet (ISSUE 10): the
+ *  same scheduler and arrival process over machines whose wire and
+ *  DRAM traffic is halved by the precision policy. The p99/p50/goodput
+ *  counters quantify what mixed precision buys the serving tier; the
+ *  dtype label keeps the series distinguishable in BENCH_sim.json. */
+void
+BM_ServingP99Bf16(benchmark::State &state)
+{
+    const auto spec =
+        timingSpec(double(state.range(0)), rsn::Dtype::Bf16);
+    rsn::Tick p99 = 0, p50 = 0;
+    double goodput = 0;
+    for (auto _ : state) {
+        const auto rep = rsn::serve::runServing(spec);
+        if (rep.resolved() != rep.offered)
+            state.SkipWithError("serving left requests unresolved");
+        p99 = rep.p99;
+        p50 = rep.p50;
+        goodput = rep.goodput;
+        benchmark::DoNotOptimize(p99);
+    }
+    state.counters["p99_ticks"] = double(p99);
+    state.counters["p50_ticks"] = double(p50);
+    state.counters["goodput_rps"] = goodput;
+    state.SetItemsProcessed(state.iterations() * spec.num_requests);
+    state.SetLabel("load=" + std::to_string(state.range(0)) +
+                   " dtype=bf16");
+}
+BENCHMARK(BM_ServingP99Bf16)
     ->Arg(40000)
     ->Unit(benchmark::kMillisecond);
 

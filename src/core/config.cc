@@ -22,6 +22,29 @@ positiveFinite(double v)
 } // namespace
 
 Status
+PrecisionPolicy::validate() const
+{
+    const struct {
+        Dtype v;
+        const char *name;
+    } fields[] = {
+        {linear_weights, "linear_weights"},
+        {linear_activations, "linear_activations"},
+        {attention_activations, "attention_activations"},
+    };
+    for (const auto &f : fields) {
+        // I8 is reserved enum space: the datapath has no quantization
+        // parameters (scale/zero-point plumbing) yet, so reject it up
+        // front instead of failing in a kernel assert mid-run.
+        if (f.v != Dtype::F32 && f.v != Dtype::Bf16 && f.v != Dtype::F16)
+            return invalid(std::string("precision.") + f.name +
+                           " must be one of f32|bf16|f16 (i8 is not "
+                           "implemented by the datapath)");
+    }
+    return Status::success();
+}
+
+Status
 MachineConfig::validate() const
 {
     // FuId packs the per-type index into 8 bits, so counts are capped.
@@ -97,6 +120,9 @@ MachineConfig::validate() const
         return invalid("decoder tick costs must be positive");
     if (watchdog_events_per_tick == 0)
         return invalid("watchdog_events_per_tick must be positive");
+
+    if (Status s = precision.validate(); !s)
+        return s;
 
     return fault.validate();
 }

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/dtype.hh"
 #include "common/status.hh"
 #include "common/types.hh"
 #include "fu/aie_model.hh"
@@ -44,6 +45,29 @@ struct FuMemories {
     bool operator==(const FuMemories &) const = default;
 };
 
+/**
+ * Per-operator-class element types for the typed-tile datapath
+ * (docs/datapath.md "Typed tiles & precision policy"). Codegen stamps
+ * these onto the load / MME / MemC uOPs, so a precision choice changes
+ * wire and DRAM bytes (and therefore timing) end to end. Invariants
+ * the datapath enforces regardless of policy: MME accumulators and
+ * MemC's fused operators compute in FP32, and bias / LayerNorm
+ * gamma-beta vectors are always loaded as FP32.
+ *
+ * The defaults are all-F32, which keeps the pre-typed golden tick
+ * pins bit-exact: every uOP then carries the same dtype tags the
+ * untyped datapath implicitly had.
+ */
+struct PrecisionPolicy {
+    Dtype linear_weights = Dtype::F32;        ///< LPDDR weight tiles.
+    Dtype linear_activations = Dtype::F32;    ///< Linear-layer acts.
+    Dtype attention_activations = Dtype::F32; ///< Q/K/V, scores, ctx.
+
+    bool operator==(const PrecisionPolicy &) const = default;
+
+    Status validate() const;
+};
+
 struct MachineConfig {
     int num_mme = 6;
     int num_mem_a = 3;
@@ -75,7 +99,10 @@ struct MachineConfig {
     Tick decoder_ticks_per_uop = 2;
 
     mem::LayoutKind offchip_layout = mem::LayoutKind::Blocked;
-    bool functional = false;  ///< Carry FP32 payloads through the network.
+    bool functional = false;  ///< Carry typed payloads through the network.
+
+    /** Per-op element types; all-F32 by default (see PrecisionPolicy). */
+    PrecisionPolicy precision;
 
     /** Fault-injection plan; disabled (all rates zero) by default. */
     sim::FaultSpec fault;

@@ -50,11 +50,16 @@ void gemmRefAccumulate(float *acc, const float *lhs, const float *rhs,
                        std::uint32_t m, std::uint32_t k, std::uint32_t n);
 
 /**
- * Packing scratch for gemmAccumulate: two pooled tiles holding the LHS
- * and RHS panels. Owned per MME FU and reused across every chunk product
- * the FU ever computes — the panels only ever grow (to the largest
- * shape seen), so steady-state packing allocates nothing. release()
- * drops the tiles back to the pool (FU reset).
+ * Packing scratch for gemmAccumulate: pooled tiles holding the LHS and
+ * RHS panels, plus two *conversion* panels for the typed paths — the
+ * bf16 GEMM upconverts its RHS into cvtRhsPanel, and the MME's
+ * mixed-dtype fallback upconverts whole operands into cvtLhs/cvtRhs
+ * before running the FP32 kernel (the pack panels can't double for
+ * this: the FP32 implementation packs *into* them while reading the
+ * converted operand). Owned per MME FU and reused across every chunk
+ * product the FU ever computes — the panels only ever grow (to the
+ * largest shape seen), so steady-state packing allocates nothing.
+ * release() drops the tiles back to the pool (FU reset).
  */
 class GemmScratch
 {
@@ -73,12 +78,28 @@ class GemmScratch
         return panel(rhs_, elems);
     }
 
+    /** Writable FP32 upconversion panel for a typed LHS operand. */
+    float *
+    cvtLhsPanel(std::uint64_t elems)
+    {
+        return panel(cvt_lhs_, elems);
+    }
+
+    /** Writable FP32 upconversion panel for a typed RHS operand. */
+    float *
+    cvtRhsPanel(std::uint64_t elems)
+    {
+        return panel(cvt_rhs_, elems);
+    }
+
     /** Return the panels to the pool (RsnMachine::reset / FU teardown). */
     void
     release()
     {
         lhs_.release();
         rhs_.release();
+        cvt_lhs_.release();
+        cvt_rhs_.release();
     }
 
   private:
@@ -92,6 +113,8 @@ class GemmScratch
 
     sim::TileRef lhs_;
     sim::TileRef rhs_;
+    sim::TileRef cvt_lhs_;
+    sim::TileRef cvt_rhs_;
 };
 
 /**

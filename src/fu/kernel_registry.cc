@@ -1,7 +1,6 @@
 #include "fu/kernel_registry.hh"
 
 #include <cstdlib>
-#include <cstring>
 
 #include "common/log.hh"
 
@@ -190,7 +189,16 @@ resolveStartupIsa(const char *rsn_isa, const char *rsn_nonlinear,
 {
     const Isa best = chooseBest(probe, compiled_in);
 
-    // RSN_ISA wins; the deprecated alias is only consulted when unset.
+    // The RSN_NONLINEAR alias was deprecated when the kernel registry
+    // replaced NonlinearMode and has been removed after two majors.
+    // Refusing to run beats silently ignoring it: a sweep that still
+    // exports it would otherwise run the wrong table without a trace.
+    if (rsn_nonlinear && *rsn_nonlinear) {
+        rsn_fatal("RSN_NONLINEAR has been removed; set RSN_ISA "
+                  "(RSN_ISA=scalar for the exact reference kernels, "
+                  "avx512|avx2|neon|portable otherwise)");
+    }
+
     if (rsn_isa && *rsn_isa) {
         const std::optional<Isa> want = isaFromName(rsn_isa);
         std::string why;
@@ -209,24 +217,6 @@ resolveStartupIsa(const char *rsn_isa, const char *rsn_nonlinear,
         }
         return {best, "probe",
                 why + "; falling back to " + isaName(best)};
-    }
-
-    if (rsn_nonlinear && *rsn_nonlinear) {
-        if (std::strcmp(rsn_nonlinear, "exact") == 0) {
-            return {Isa::Scalar, "env:RSN_NONLINEAR",
-                    "RSN_NONLINEAR is deprecated; use RSN_ISA=scalar for "
-                    "the exact reference kernels"};
-        }
-        if (std::strcmp(rsn_nonlinear, "simd") == 0) {
-            return {best, "env:RSN_NONLINEAR",
-                    "RSN_NONLINEAR is deprecated; the probed best table "
-                    "is already the default (RSN_ISA overrides)"};
-        }
-        return {best, "probe",
-                "unknown RSN_NONLINEAR value '" +
-                    std::string(rsn_nonlinear) +
-                    "' (deprecated; use RSN_ISA); falling back to " +
-                    isaName(best)};
     }
 
     return {best, "probe", {}};
@@ -257,10 +247,10 @@ Registry::Registry()
         resolveStartupIsa(std::getenv("RSN_ISA"),
                           std::getenv("RSN_NONLINEAR"), probe_,
                           compiled_in);
-    // Once-guarded: the warning text covers the deprecated
-    // RSN_NONLINEAR alias and env fallbacks, and the ctor itself runs
-    // once, but rsn_warn_once also keeps re-exec'd registries in tests
-    // from nagging per sweep lane if this ever becomes re-entrant.
+    // Once-guarded: the warning text covers RSN_ISA fallbacks, and the
+    // ctor itself runs once, but rsn_warn_once also keeps re-exec'd
+    // registries in tests from nagging per sweep lane if this ever
+    // becomes re-entrant.
     if (!choice.warning.empty())
         rsn_warn_once("%s", choice.warning.c_str());
 

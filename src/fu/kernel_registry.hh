@@ -30,9 +30,9 @@
  * it is never auto-selected by the probe. This retires the old
  * separate nonlinear mode switch (`setNonlinearMode` /
  * `ScopedNonlinearMode` / `RSN_NONLINEAR`): exact-vs-simd is now just
- * scalar-vs-any-other-table through the same registry. `RSN_NONLINEAR`
- * survives as a deprecated alias that warns once (`exact` selects the
- * scalar table, `simd` the probed best).
+ * scalar-vs-any-other-table through the same registry. The deprecated
+ * `RSN_NONLINEAR` alias has been removed after two majors — setting it
+ * is now a hard startup error pointing at `RSN_ISA`.
  *
  * ## Dispatch cost
  *
@@ -64,6 +64,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/dtype.hh"
 #include "common/status.hh"
 
 namespace rsn::fu {
@@ -119,6 +120,43 @@ struct KernelTable {
                            std::uint32_t cols);
     void (*transpose)(float *dst, const float *src, std::uint32_t rows,
                       std::uint32_t cols);
+
+    // --- typed-tile entries (ISSUE 10) -------------------------------
+    //
+    // The conversion routines are the dtype boundary of the datapath
+    // (DDR/LPDDR convert-on-load/store, MemC's upconvert-before-fused-
+    // ops pass, MME operand upconversion). Every table inlines the SAME
+    // scalar bit manipulation from common/dtype.hh — only the loop
+    // around it is per-ISA — so conversions are **bit-identical across
+    // tables** (tests/fu/test_dtype_kernels.cc pins this), unlike the
+    // tolerance-governed GEMM/nonlinear entries.
+
+    /** dst[i] = toF32(src[i]) for @p n elements of @p src_dtype
+     *  (F32 src is a plain copy; dst must not alias src). */
+    void (*convert_rows_to_f32)(float *dst, const void *src,
+                                Dtype src_dtype, std::uint64_t n);
+    /** dst[i] = fromF32(src[i]) for @p n elements into @p dst_dtype
+     *  (RNE rounding per common/dtype.hh; dst must not alias src). */
+    void (*convert_rows_from_f32)(void *dst, Dtype dst_dtype,
+                                  const float *src, std::uint64_t n);
+    /**
+     * BF16 GEMM, FP32 accumulation: acc(m x n, f32) += lhs(m x k, bf16)
+     * @ rhs(k x n, bf16). Operands upconvert on the fly (the LHS pack
+     * pass fuses the conversion; the RHS converts into a scratch
+     * panel), products and sums stay FP32 end to end — the
+     * accumulate-in-FP32 contract of docs/datapath.md. Tolerance vs
+     * the scalar reference matches gemm_accumulate (same chains over
+     * the upconverted values).
+     */
+    void (*gemm_accumulate_bf16)(fu::GemmScratch &scratch, float *acc,
+                                 const std::uint16_t *lhs,
+                                 const std::uint16_t *rhs,
+                                 std::uint32_t m, std::uint32_t k,
+                                 std::uint32_t n);
+    /** 16-bit tile transpose (MemB on bf16/f16 tiles): same contract as
+     *  transpose — pure data movement, bit-identical across tables. */
+    void (*transpose_u16)(std::uint16_t *dst, const std::uint16_t *src,
+                          std::uint32_t rows, std::uint32_t cols);
 };
 
 /**
@@ -151,15 +189,18 @@ struct CpuProbe {
 
 /**
  * Startup selection policy as a pure function, unit-testable without
- * the process-wide singleton: RSN_ISA wins over the deprecated
- * RSN_NONLINEAR alias (exact -> scalar, simd -> probe), and any
+ * the process-wide singleton: RSN_ISA selects by name, and any
  * unknown / not-compiled-in / unsupported-by-CPU request falls back to
- * the probed best with a warning. Pass null for unset variables.
+ * the probed best with a warning. The retired RSN_NONLINEAR variable
+ * (a PR 7 deprecation alias, two majors stale) is now a **hard
+ * error**: if it is set at all, the process aborts with a message
+ * pointing at RSN_ISA — a silent fallback would quietly change which
+ * kernels a stale CI config runs. Pass null for unset variables.
  * @p compiled_in is the Isa set available in this binary, best first.
  */
 struct StartupChoice {
     Isa isa;
-    const char *source;   ///< "probe", "env:RSN_ISA", "env:RSN_NONLINEAR"
+    const char *source;   ///< "probe" or "env:RSN_ISA"
     std::string warning;  ///< empty, or why a request was ignored
 };
 StartupChoice resolveStartupIsa(const char *rsn_isa,
@@ -213,8 +254,8 @@ active()
 class Registry
 {
   public:
-    /** The singleton; first use probes cpuid and applies RSN_ISA /
-     *  the deprecated RSN_NONLINEAR alias. */
+    /** The singleton; first use probes cpuid and applies RSN_ISA
+     *  (a set RSN_NONLINEAR is a hard startup error). */
     static Registry &instance();
 
     /** Currently selected table (same object active() dereferences). */
@@ -248,8 +289,8 @@ class Registry
     /** What the startup probe saw. */
     const CpuProbe &probe() const { return probe_; }
 
-    /** How the active table was chosen: "probe", "env:RSN_ISA",
-     *  "env:RSN_NONLINEAR", or "override". */
+    /** How the active table was chosen: "probe", "env:RSN_ISA", or
+     *  "override". */
     const char *selectionSource() const { return source_; }
 
     Registry(const Registry &) = delete;

@@ -43,12 +43,72 @@ sliceChunk(TileBuffer &buf, std::uint32_t row_off, std::uint32_t rows,
            std::uint32_t tag)
 {
     if (!buf.hasData())
-        return sim::makeChunk(rows, buf.cols, tag);
+        return sim::makeChunk(rows, buf.cols, tag, buf.dtype);
     return sim::makeTileChunk(
         rows, buf.cols,
         buf.tile.window(std::uint64_t(row_off) * buf.cols,
                         std::uint64_t(rows) * buf.cols),
         tag);
+}
+
+/**
+ * MemC's typed emit: slice the staged tile and convert the slice to
+ * @p out_dtype when it differs from the buffer's element type. The
+ * conversion fills a fresh pooled tile (the staged slice may be shared
+ * and stays immutable); matching dtypes keep the zero-copy window
+ * path. Conversion is free in simulated time — in hardware it rides
+ * the send pipeline the same way the fused operators do.
+ */
+sim::Chunk
+sliceChunkAs(TileBuffer &buf, std::uint32_t row_off, std::uint32_t rows,
+             std::uint32_t tag, Dtype out_dtype)
+{
+    if (!buf.hasData() || buf.dtype == out_dtype) {
+        sim::Chunk c = sliceChunk(buf, row_off, rows, tag);
+        c.dtype = out_dtype;
+        return c;
+    }
+    const std::uint64_t elems = std::uint64_t(rows) * buf.cols;
+    sim::TileRef window =
+        buf.tile.window(std::uint64_t(row_off) * buf.cols, elems);
+    sim::TileRef t = sim::TilePool::instance().acquire(elems, out_dtype);
+    if (out_dtype == Dtype::F32) {
+        kernel::active().convert_rows_to_f32(t.mutableData(),
+                                             window.raw(), buf.dtype,
+                                             elems);
+    } else {
+        rsn_assert(buf.dtype == Dtype::F32,
+                   "typed-to-typed slice conversion unsupported");
+        kernel::active().convert_rows_from_f32(t.mutableRaw(), out_dtype,
+                                               window.data(), elems);
+    }
+    return sim::makeTileChunk(rows, buf.cols, std::move(t), tag);
+}
+
+/**
+ * Upconvert a typed staged buffer to FP32 ahead of the fused operators
+ * (accuracy policy: MemC's non-MM operators always compute in FP32 —
+ * docs/datapath.md). Segment-by-segment into fresh pooled tiles, so
+ * row granularity is preserved and steady state allocates nothing.
+ */
+void
+upconvertBuffer(TileBuffer &buf)
+{
+    if (buf.dtype == Dtype::F32)
+        return;
+    if (buf.hasData()) {
+        sim::GatherTile f32;
+        for (std::size_t i = 0; i < buf.tile.segments(); ++i) {
+            const std::uint64_t elems = buf.tile.segmentElems(i);
+            sim::TileRef t = sim::TilePool::instance().acquire(elems);
+            kernel::active().convert_rows_to_f32(
+                t.mutableData(), buf.tile.segment(i).raw(), buf.dtype,
+                elems);
+            f32.append(std::move(t), elems);
+        }
+        buf.tile = std::move(f32);
+    }
+    buf.dtype = Dtype::F32;
 }
 
 /**
@@ -91,6 +151,7 @@ MemAFu::loadPart(const isa::MemAUop &u, TileBuffer &buf)
     checkIngress(c);
     buf.rows = c.rows;
     buf.cols = c.cols;
+    buf.dtype = c.dtype;
     // Adopt the payload tile by reference: the DDR FU loaded it straight
     // from host memory into a pooled tile, so staging is a pointer move.
     buf.tile.clear();
@@ -156,18 +217,27 @@ MemBFu::loadPart(const isa::MemBUop &u, TileBuffer &buf)
     countIn(c);
     checkIngress(c);
     buf.tile.clear();
+    buf.dtype = c.dtype;
     if (u.transpose) {
         buf.rows = c.cols;
         buf.cols = c.rows;
         if (c.hasData()) {
             // Transposition is a transform: fill a fresh pooled tile
             // (the incoming chunk may be shared and stays immutable).
-            sim::TileRef t = sim::TilePool::instance().acquire(c.elems());
+            sim::TileRef t =
+                sim::TilePool::instance().acquire(c.elems(), c.dtype);
             // Layout conversion through the active kernel table; every
-            // table's transpose is bit-identical (pure data movement),
-            // so the ISA choice cannot move payload values here.
-            kernel::active().transpose(t.mutableData(), c.data.data(),
-                                       c.rows, c.cols);
+            // table's transpose (both widths) is bit-identical (pure
+            // data movement), so the ISA choice cannot move payload
+            // values here. 16-bit dtypes share the u16 ladder.
+            if (c.dtype == Dtype::F32)
+                kernel::active().transpose(t.mutableData(),
+                                           c.data.data(), c.rows,
+                                           c.cols);
+            else
+                kernel::active().transpose_u16(t.mutableData16(),
+                                               c.data.data16(), c.rows,
+                                               c.cols);
             buf.tile.append(std::move(t), c.elems());
         }
     } else {
@@ -237,21 +307,36 @@ MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
     buf.rows = 0;
     buf.cols = 0;
     buf.tile.clear();
+    buf.dtype = Dtype::F32;
     std::uint32_t row_fill = 0;
     for (std::uint32_t i = 0; i < u.recv_chunks; ++i) {
         sim::Chunk c = co_await in(mme_src_).recv();
         countIn(c);
-        if (i == 0)
+        if (i == 0) {
             buf.cols = c.cols;
-        else
+            buf.dtype = c.dtype;
+        } else {
             rsn_assert(c.cols == buf.cols,
                        "%s assembly width mismatch: %u vs %u",
                        name().c_str(), c.cols, buf.cols);
+            rsn_assert(c.dtype == buf.dtype,
+                       "%s assembly dtype mismatch", name().c_str());
+        }
         if (c.hasData())
             buf.tile.append(std::move(c.data), c.elems());
         row_fill += c.rows;
     }
     buf.rows = row_fill;
+
+    // Accuracy policy: the fused non-MM operators always compute in
+    // FP32. A typed staged tile is upconverted once, before the first
+    // fused op; sendPart downconverts to the uOP's out_dtype on the way
+    // out. Conversions are free in simulated time (they ride the same
+    // pipeline as the operators themselves) — see docs/datapath.md.
+    if (u.add_residual || u.softmax || u.gelu || u.layernorm ||
+        u.scale_shift) {
+        upconvertBuffer(buf);
+    }
 
     double flops = 0;
     const double elems = double(buf.rows) * buf.cols;
@@ -274,7 +359,19 @@ MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
         checkIngress(res);
         if (res.hasData() && buf.hasData()) {
             rsn_assert(res.elems() == n, "residual shape mismatch");
-            const float *rp = res.data.data();
+            // A typed residual (previous layer stored at activation
+            // dtype) is upconverted through a scratch pool tile; the
+            // add itself is FP32 like every fused operator.
+            sim::TileRef res_f32;
+            const float *rp;
+            if (res.dtype == Dtype::F32) {
+                rp = res.data.data();
+            } else {
+                res_f32 = sim::TilePool::instance().acquire(n);
+                kernel::active().convert_rows_to_f32(
+                    res_f32.mutableData(), res.data.raw(), res.dtype, n);
+                rp = res_f32.data();
+            }
             forEachOwnedSegment(
                 buf, [&](float *p, std::uint32_t rows,
                          std::uint32_t row_off) {
@@ -332,6 +429,9 @@ MemCFu::recvPart(const isa::MemCUop &u, TileBuffer &buf)
         rsn_assert(params.rows >= 2,
                    "%s gamma/beta block needs 2 rows, got %u",
                    name().c_str(), params.rows);
+        rsn_assert(params.dtype == Dtype::F32,
+                   "%s gamma/beta must be FP32 (precision policy)",
+                   name().c_str());
         rsn_assert(params.data.capacity() >=
                        2 * std::uint64_t(params.cols),
                    "%s gamma/beta payload window too short: %llu < %llu",
@@ -363,8 +463,8 @@ MemCFu::sendPart(const isa::MemCUop &u, TileBuffer &buf)
         sim::Stream &o = out(ddr_);
         auto pieces = sliceRows(buf.rows, u.send_chunks);
         for (std::uint32_t i = 0; i < pieces.size(); ++i) {
-            sim::Chunk c = sliceChunk(buf, pieces[i].first,
-                                      pieces[i].second, i);
+            sim::Chunk c = sliceChunkAs(buf, pieces[i].first,
+                                        pieces[i].second, i, u.out_dtype);
             countOut(c);
             co_await o.send(std::move(c));
         }
@@ -373,8 +473,8 @@ MemCFu::sendPart(const isa::MemCUop &u, TileBuffer &buf)
         sim::Stream &o = out(u.send_dest);
         auto pieces = sliceRows(buf.rows, u.send_chunks);
         for (std::uint32_t i = 0; i < pieces.size(); ++i) {
-            sim::Chunk c = sliceChunk(buf, pieces[i].first,
-                                      pieces[i].second, i);
+            sim::Chunk c = sliceChunkAs(buf, pieces[i].first,
+                                        pieces[i].second, i, u.out_dtype);
             countOut(c);
             co_await o.send(std::move(c));
         }

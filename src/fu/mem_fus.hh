@@ -34,6 +34,9 @@ struct TileBuffer {
     std::uint32_t rows = 0;
     std::uint32_t cols = 0;
     sim::GatherTile tile;  ///< Empty in timing-only runs.
+    /** Element type of the staged tile. Tracked on the buffer (not just
+     *  the gather) so timing-only runs slice byte-true chunks. */
+    Dtype dtype = Dtype::F32;
 
     bool hasData() const { return !tile.empty(); }
 };

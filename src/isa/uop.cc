@@ -12,36 +12,48 @@ onOff(bool b, const char *name)
     return std::string(" ") + name + (b ? "+" : "-");
 }
 
+/** Render a dtype tag, empty for the F32 default (keeps pre-typed
+ *  debug output byte-identical). */
+std::string
+dtypeTag(Dtype d)
+{
+    return d == Dtype::F32 ? std::string()
+                           : std::string(" ") + dtypeName(d);
+}
+
 } // namespace
 
 std::string
 MmeUop::toString() const
 {
-    return detail::formatv("mme reps=%u k=%u tile=%ux%ux%u%s%s", reps,
+    return detail::formatv("mme reps=%u k=%u tile=%ux%ux%u%s%s%s", reps,
                            k_steps, tile_m, tile_k, tile_n,
                            onOff(add_bias, "bias").c_str(),
-                           onOff(accum_k, "accK").c_str());
+                           onOff(accum_k, "accK").c_str(),
+                           dtypeTag(out_dtype).c_str());
 }
 
 std::string
 DdrUop::toString() const
 {
     return detail::formatv(
-        "ddr addr=0x%llx cnt=%u off=%u %s%s block=%ux%u/%u",
+        "ddr addr=0x%llx cnt=%u off=%u %s%s block=%ux%u/%u%s",
         static_cast<unsigned long long>(addr), stride_count, stride_offset,
         load ? ("ld->" + dest.toString()).c_str() : "",
-        store ? ("st<-" + src.toString()).c_str() : "", rows, cols, pitch);
+        store ? ("st<-" + src.toString()).c_str() : "", rows, cols, pitch,
+        dtypeTag(dtype).c_str());
 }
 
 std::string
 LpddrUop::toString() const
 {
     return detail::formatv("lpddr addr=0x%llx cnt=%u off=%u ->%s%s "
-                           "block=%ux%u/%u",
+                           "block=%ux%u/%u%s",
                            static_cast<unsigned long long>(addr),
                            stride_count, stride_offset,
                            dest.toString().c_str(),
-                           load_bias ? " bias" : "", rows, cols, pitch);
+                           load_bias ? " bias" : "", rows, cols, pitch,
+                           dtypeTag(dtype).c_str());
 }
 
 std::string
@@ -78,7 +90,7 @@ MemBUop::toString() const
 std::string
 MemCUop::toString() const
 {
-    return detail::formatv("memC %ux%u rc=%u sc=%u%s%s%s%s%s%s%s%s", rows,
+    return detail::formatv("memC %ux%u rc=%u sc=%u%s%s%s%s%s%s%s%s%s", rows,
                            cols, recv_chunks, send_chunks,
                            onOff(recv, "rcv").c_str(),
                            onOff(store, "st").c_str(),
@@ -87,7 +99,8 @@ MemCUop::toString() const
                            onOff(gelu, "gelu").c_str(),
                            onOff(layernorm, "ln").c_str(),
                            onOff(scale_shift, "ss").c_str(),
-                           onOff(add_residual, "res").c_str());
+                           onOff(add_residual, "res").c_str(),
+                           dtypeTag(out_dtype).c_str());
 }
 
 Bytes

@@ -20,6 +20,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/dtype.hh"
 #include "common/types.hh"
 
 namespace rsn::isa {
@@ -40,8 +41,15 @@ struct MmeUop {
     std::uint16_t tile_n = 0;     ///< Cols per RHS chunk / output slab.
     bool add_bias = false;        ///< Consume a bias chunk first, add it.
     bool accum_k = true;          ///< Accumulate along k before emitting.
+    /** Element type of the emitted output slabs. The accumulator is
+     *  always FP32; the result is downconverted just before emit.
+     *  Operand dtypes arrive on the chunks themselves. */
+    Dtype out_dtype = Dtype::F32;
 
     bool operator==(const MmeUop &) const = default;
+    // Wire size unchanged by the dtype tag: it packs into the 2 spare
+    // bits of the existing flag byte (both of the paper's encodings
+    // reserve them).
     static constexpr Bytes wireBytes() { return 11; }
     std::string toString() const;
 };
@@ -62,12 +70,18 @@ struct DdrUop {
     FuId dest = kNoFu;
     bool store = false;
     FuId src = kNoFu;
-    /** Block geometry (rows x cols FP32, row pitch in elements). */
+    /** Block geometry (rows x cols elements, row pitch in elements). */
     std::uint32_t rows = 0;
     std::uint32_t cols = 0;
     std::uint32_t pitch = 0;
+    /** Device-side element type: loads emit chunks of this dtype (host
+     *  truth is FP32; conversion happens at the DDR boundary) and DRAM
+     *  traffic is rows*cols*dtypeBytes(dtype) per block. */
+    Dtype dtype = Dtype::F32;
 
     bool operator==(const DdrUop &) const = default;
+    // Dtype packs into the spare bits of the load/store flag byte; the
+    // wire size is unchanged.
     static constexpr Bytes wireBytes() { return 25; }
     std::string toString() const;
 };
@@ -83,8 +97,12 @@ struct LpddrUop {
     std::uint32_t rows = 0;
     std::uint32_t cols = 0;
     std::uint32_t pitch = 0;
+    /** Device-side element type of the loaded block (weights). Bias /
+     *  LN-parameter vectors must stay F32 (see docs/datapath.md). */
+    Dtype dtype = Dtype::F32;
 
     bool operator==(const LpddrUop &) const = default;
+    // Dtype packs into the spare bits of the load_bias flag byte.
     static constexpr Bytes wireBytes() { return 24; }
     std::string toString() const;
 };
@@ -185,8 +203,15 @@ struct MemCUop {
     bool layernorm = false;      ///< Mean/variance/normalize rows.
     bool scale_shift = false;    ///< Apply gamma/beta (recv params first).
     bool add_residual = false;   ///< Add a residual tile (recv it first).
+    /** Element type of emitted chunks (store / send_mme). Fused
+     *  operators always compute in FP32 — a typed buffered tile is
+     *  upconverted once before the first fused op and downconverted to
+     *  this dtype on the way out. */
+    Dtype out_dtype = Dtype::F32;
 
     bool operator==(const MemCUop &) const = default;
+    // Dtype packs into the spare bits of the flag bytes; wire size
+    // unchanged.
     static constexpr Bytes wireBytes() { return 11; }
     std::string toString() const;
 };

@@ -310,6 +310,11 @@ ProgramBuilder::genLinear(const LinearLayer &l)
 {
     const auto &cfg = mach_.config();
     const int n_mme = cfg.num_mme;
+    // Precision policy (core/config.hh): weights and activations may be
+    // typed; bias and LN gamma/beta always load as FP32. Host tensors
+    // stay FP32 truth — the DDR/LPDDR FUs convert at the boundary.
+    const Dtype act = cfg.precision.linear_activations;
+    const Dtype wgt = cfg.precision.linear_weights;
 
     const TensorInfo in_t = tensor(l.in_src.empty() ? "input" : l.in_src);
     rsn_assert(in_t.rows >= l.m && in_t.cols == l.k,
@@ -348,6 +353,7 @@ ProgramBuilder::genLinear(const LinearLayer &l)
     mu.tile_n = TN;
     mu.add_bias = l.bias;
     mu.accum_k = true;
+    mu.out_dtype = act;
     emit(FuType::Mme, std::uint8_t((1u << n_mme) - 1), mu);
 
     const std::uint64_t lhs_chunks = std::uint64_t(tiles) * k_steps;
@@ -421,6 +427,7 @@ ProgramBuilder::genLinear(const LinearLayer &l)
     cr.layernorm = l.layernorm;
     cr.scale_shift = l.layernorm;
     cr.add_residual = l.residual;
+    cr.out_dtype = act;
     isa::MemCUop cb = cr;
     cb.store = true;
     isa::MemCUop cs = cb;
@@ -470,6 +477,7 @@ ProgramBuilder::genLinear(const LinearLayer &l)
                 lw.cols = tn;
                 lw.pitch = l.n;
                 lw.dest = memB(0);
+                lw.dtype = wgt;
                 emit(FuType::Lpddr, 0x1, lw);
 
                 isa::DdrUop dl;
@@ -479,6 +487,7 @@ ProgramBuilder::genLinear(const LinearLayer &l)
                 dl.cols = kk;
                 dl.pitch = l.k;
                 dl.dest = memA(0);
+                dl.dtype = act;
                 emitDdrLoad(dl, drain);
             }
 
@@ -493,6 +502,7 @@ ProgramBuilder::genLinear(const LinearLayer &l)
                     dr.cols = tn;
                     dr.pitch = l.n;
                     dr.dest = memC(i);
+                    dr.dtype = act;
                     emitDdrLoad(dr, drain);
                 }
             }
@@ -522,6 +532,10 @@ ProgramBuilder::genLinear(const LinearLayer &l)
                     ds.cols = tn;
                     ds.pitch = l.n;
                     ds.src = memC(i);
+                    // Stores take their byte count from the arriving
+                    // chunk; the tag is stamped for stride-merge
+                    // uniformity and tracing.
+                    ds.dtype = act;
                     queueDdrStore(ds);
                 }
             }
@@ -582,6 +596,9 @@ ProgramBuilder::genAttentionPipelined(const AttentionBlock &a)
     const TensorInfo v_t = tensor(a.v_src);
     const TensorInfo out_t = declareTensor(
         a.out_name, batch * S, a.heads_per_batch * D, false);
+    // Q/K/V, score and context tiles all carry the attention
+    // activation dtype; softmax itself runs in FP32 inside MemC.
+    const Dtype act = mach_.config().precision.attention_activations;
 
     // MME and MemC control, per group of lanes with equal head counts.
     // Streams for one FU type are emitted interleaved so no sibling FU
@@ -594,6 +611,7 @@ ProgramBuilder::genAttentionPipelined(const AttentionBlock &a)
         m1.tile_m = S;
         m1.tile_k = D;
         m1.tile_n = S;
+        m1.out_dtype = act;
         emit(FuType::Mme, mask, m1);
 
         isa::MmeUop m2;
@@ -602,6 +620,7 @@ ProgramBuilder::genAttentionPipelined(const AttentionBlock &a)
         m2.tile_m = S;
         m2.tile_k = S;
         m2.tile_n = D;
+        m2.out_dtype = act;
         emit(FuType::Mme, std::uint8_t(mask << 3), m2);
 
         // MemA: one Q tile per head.
@@ -653,6 +672,7 @@ ProgramBuilder::genAttentionPipelined(const AttentionBlock &a)
         c1r.send_chunks = 1;
         c1r.recv = true;
         c1r.softmax = true;
+        c1r.out_dtype = act;
         isa::MemCUop c1b = c1r;
         c1b.send_mme = true;
         c1b.send_dest = kMeshA;
@@ -669,6 +689,7 @@ ProgramBuilder::genAttentionPipelined(const AttentionBlock &a)
         c2r.recv_chunks = 1;
         c2r.send_chunks = 1;
         c2r.recv = true;
+        c2r.out_dtype = act;
         isa::MemCUop c2b = c2r;
         c2b.store = true;
         isa::MemCUop c2s = c2b;
@@ -723,6 +744,7 @@ ProgramBuilder::genAttentionPipelined(const AttentionBlock &a)
         q.cols = D;
         q.pitch = q_t.cols;
         q.dest = memA(lane);
+        q.dtype = act;
         emitDdrLoad(q, 1);
 
         isa::DdrUop kk;
@@ -731,6 +753,7 @@ ProgramBuilder::genAttentionPipelined(const AttentionBlock &a)
         kk.cols = D;
         kk.pitch = k_t.cols;
         kk.dest = memB(lane);
+        kk.dtype = act;
         emitDdrLoad(kk, 1);
 
         isa::DdrUop v;
@@ -739,6 +762,7 @@ ProgramBuilder::genAttentionPipelined(const AttentionBlock &a)
         v.cols = D;
         v.pitch = v_t.cols;
         v.dest = memB(lane);
+        v.dtype = act;
         emitDdrLoad(v, 1);
 
         isa::DdrUop ctx;
@@ -749,6 +773,7 @@ ProgramBuilder::genAttentionPipelined(const AttentionBlock &a)
         ctx.cols = D;
         ctx.pitch = out_t.cols;
         ctx.src = memC(3 + lane);
+        ctx.dtype = act;
         queueDdrStore(ctx);
     }
 }
@@ -771,6 +796,7 @@ ProgramBuilder::genAttentionSequential(const AttentionBlock &a)
         declareTensor("scores." + a.name, H * S, S, false);
     const TensorInfo out_t = declareTensor(
         a.out_name, batch * S, a.heads_per_batch * D, false);
+    const Dtype act = mach_.config().precision.attention_activations;
 
     auto head_block = [&](const TensorInfo &t, std::uint32_t col_off,
                           std::uint32_t h) {
@@ -818,6 +844,7 @@ ProgramBuilder::genAttentionSequential(const AttentionBlock &a)
             mm.tile_m = S;
             mm.tile_k = first_pass ? D : S;
             mm.tile_n = first_pass ? S : D;
+            mm.out_dtype = act;
             emit(FuType::Mme, mask, mm);
         }
         // MemA/MemB: chunk counts per scratchpad instance (a scratchpad
@@ -867,6 +894,7 @@ ProgramBuilder::genAttentionSequential(const AttentionBlock &a)
                 first_pass ? score_split : 1);
             cr.recv = true;
             cr.softmax = first_pass;
+            cr.out_dtype = act;
             isa::MemCUop cb = cr;
             cb.store = true;
             isa::MemCUop cs = cb;
@@ -896,6 +924,7 @@ ProgramBuilder::genAttentionSequential(const AttentionBlock &a)
                 q.cols = D;
                 q.pitch = q_t.cols;
                 q.dest = memA(lane % n_mem);
+                q.dtype = act;
                 emitDdrLoad(q, 2);
 
                 isa::DdrUop kk;
@@ -904,6 +933,7 @@ ProgramBuilder::genAttentionSequential(const AttentionBlock &a)
                 kk.cols = D;
                 kk.pitch = k_t.cols;
                 kk.dest = memB(lane % n_mem);
+                kk.dtype = act;
                 emitDdrLoad(kk, 2);
 
                 auto pieces = fu::sliceRows(S, score_split);
@@ -915,6 +945,7 @@ ProgramBuilder::genAttentionSequential(const AttentionBlock &a)
                     ds.cols = S;
                     ds.pitch = S;
                     ds.src = memC(lane);
+                    ds.dtype = act;
                     queueDdrStore(ds);
                 }
             } else {
@@ -924,6 +955,7 @@ ProgramBuilder::genAttentionSequential(const AttentionBlock &a)
                 sc.cols = S;
                 sc.pitch = S;
                 sc.dest = memA(lane % n_mem);
+                sc.dtype = act;
                 emitDdrLoad(sc, 1);
 
                 isa::DdrUop v;
@@ -932,6 +964,7 @@ ProgramBuilder::genAttentionSequential(const AttentionBlock &a)
                 v.cols = D;
                 v.pitch = v_t.cols;
                 v.dest = memB(lane % n_mem);
+                v.dtype = act;
                 emitDdrLoad(v, 1);
 
                 isa::DdrUop ctx;
@@ -943,6 +976,7 @@ ProgramBuilder::genAttentionSequential(const AttentionBlock &a)
                 ctx.cols = D;
                 ctx.pitch = out_t.cols;
                 ctx.src = memC(lane);
+                ctx.dtype = act;
                 queueDdrStore(ctx);
             }
         }

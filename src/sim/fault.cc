@@ -388,8 +388,9 @@ FaultInjector::stampChecksum(SiteId s, Chunk &c)
     // so its buffer pointer is its identity. Every stamped payload is
     // consumed by exactly one Mem-FU ingress (docs/robustness.md), which
     // erases the entry — the pool cannot recycle the buffer while the
-    // in-flight chunk holds its reference, so keys never go stale.
-    protected_[c.data.data()] = payloadChecksum(c.data.data(), c.elems());
+    // in-flight chunk holds its reference, so keys never go stale. The
+    // hash covers the tile's byte window, whatever its dtype.
+    protected_[c.data.raw()] = payloadChecksum(c.data.raw(), c.bytes());
 }
 
 void
@@ -398,7 +399,7 @@ FaultInjector::ingressCheck(SiteId s, Chunk &c)
     checkOwner("ingressCheck");
     if (!checksums_on_ || !c.hasData())
         return;
-    auto it = protected_.find(c.data.data());
+    auto it = protected_.find(c.data.raw());
     if (it == protected_.end())
         return;
     const std::uint32_t expect = it->second;
@@ -410,22 +411,22 @@ FaultInjector::ingressCheck(SiteId s, Chunk &c)
         draw(site, seq, kSaltFlipFire) < spec_.flip_rate) {
         // Corrupt one bit of the payload (copy-on-write if shared), then
         // let the verification below catch it — flips are only injected
-        // into protected chunks, so corruption is always detected.
-        const std::uint64_t elems = c.elems();
+        // into protected chunks, so corruption is always detected. The
+        // flip targets the byte window, so a typed tile's upper bytes
+        // are just as exposed as a float's.
+        const std::uint64_t nbytes = c.bytes();
         std::uint64_t target = bits(site, seq, kSaltFlipBit);
-        std::uint64_t word = target % elems;
+        std::uint64_t byte = target % nbytes;
         std::uint32_t bit = static_cast<std::uint32_t>(
-            (target / elems) % 32);
-        float *p = c.data.ensureUnique(elems);
-        std::uint32_t v;
-        std::memcpy(&v, &p[word], sizeof(v));
-        v ^= std::uint32_t(1) << bit;
-        std::memcpy(&p[word], &v, sizeof(v));
+            (target / nbytes) % 8);
+        auto *p = static_cast<unsigned char *>(
+            c.data.ensureUniqueRaw(c.elems()));
+        p[byte] ^= static_cast<unsigned char>(1u << bit);
         record(FaultKind::BitFlip, site, seq,
-               "elem " + std::to_string(word) + " bit " +
+               "byte " + std::to_string(byte) + " bit " +
                    std::to_string(bit));
     }
-    if (payloadChecksum(c.data.data(), c.elems()) != expect)
+    if (payloadChecksum(c.data.raw(), c.bytes()) != expect)
         hardFault(FaultKind::ChecksumMismatch, site, seq,
                   "payload corrupted in transit (" +
                       std::to_string(c.rows) + "x" +
@@ -433,13 +434,12 @@ FaultInjector::ingressCheck(SiteId s, Chunk &c)
 }
 
 std::uint32_t
-payloadChecksum(const float *p, std::uint64_t elems)
+payloadChecksum(const void *p, std::uint64_t bytes)
 {
+    const auto *b = static_cast<const unsigned char *>(p);
     std::uint32_t h = 0x811c9dc5u;
-    for (std::uint64_t i = 0; i < elems; ++i) {
-        std::uint32_t v;
-        std::memcpy(&v, &p[i], sizeof(v));
-        h ^= v;
+    for (std::uint64_t i = 0; i < bytes; ++i) {
+        h ^= b[i];
         h *= 0x01000193u;
     }
     return h ? h : 1;

@@ -30,7 +30,9 @@
  * LPDDR movers stamp a checksum for every functional payload they load
  * (keyed by the pooled buffer pointer — the payload travels the stream
  * network by reference, so the pointer is the identity), and the Mem FUs
- * verify it at ingress. Bit-flips are injected only into protected
+ * verify it at ingress. The checksum hashes the tile's *byte window*
+ * (rows * cols * dtypeBytes), so typed tiles (sim/tile_pool.hh) are
+ * protected end to end without assuming a float element size. Bit-flips are injected only into protected
  * payloads, immediately before verification: a flip is therefore always
  * *detected*, never silently computed with — the guarantee the chaos
  * tier pins is "correct outputs or a structured report", with no third
@@ -278,7 +280,7 @@ class FaultInjector
     Engine &eng_;
     bool checksums_on_;
     std::vector<Site> sites_;
-    std::unordered_map<const float *, std::uint32_t> protected_;
+    std::unordered_map<const void *, std::uint32_t> protected_;
     std::vector<FaultRecord> log_;
     std::uint64_t counts_[kNumFaultKinds] = {};
     std::uint64_t total_ = 0;
@@ -287,8 +289,9 @@ class FaultInjector
     std::thread::id owner_ = std::this_thread::get_id();
 };
 
-/** Deterministic FNV-1a style checksum of a payload (never 0). */
-std::uint32_t payloadChecksum(const float *p, std::uint64_t elems);
+/** Deterministic FNV-1a checksum of a payload's byte window (never 0).
+ *  Dtype-agnostic: callers pass the wire byte count (Chunk::bytes()). */
+std::uint32_t payloadChecksum(const void *p, std::uint64_t bytes);
 
 } // namespace rsn::sim
 

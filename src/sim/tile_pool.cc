@@ -1,21 +1,24 @@
 #include "sim/tile_pool.hh"
 
-#include <algorithm>
+#include <cstring>
 #include <new>
 
 namespace rsn::sim {
 
-float *
-TileRef::ensureUnique(std::uint64_t elems)
+void *
+TileRef::ensureUniqueRaw(std::uint64_t elems)
 {
     rsn_assert(h_ && elems > 0 && elems <= len_,
                "ensureUnique of %llu elems on a %llu-elem tile view",
                static_cast<unsigned long long>(elems),
                static_cast<unsigned long long>(h_ ? len_ : 0));
+    const std::uint32_t esize = h_->elemBytes();
     if (h_->refs == 1)
-        return h_->payload() + off_;
-    TileRef copy = h_->pool->acquire(elems);
-    std::copy_n(h_->payload() + off_, elems, copy.mutableData());
+        return h_->payload() + std::uint64_t(off_) * esize;
+    TileRef copy = h_->pool->acquire(elems, h_->dtype);
+    std::memcpy(copy.mutableRaw(),
+                h_->payload() + std::uint64_t(off_) * esize,
+                elems * esize);
     // Narrow the fresh ref's window to exactly the copied elements: the
     // bucket's spare capacity is uninitialized storage the pre-COW
     // window could not reach either, so it must not become reachable.
@@ -29,6 +32,10 @@ GatherTile::append(TileRef tile, std::uint64_t elems)
 {
     rsn_assert(tile && elems > 0 && tile.capacity() >= elems,
                "gather segment smaller than its logical size");
+    rsn_assert(count_ == 0 || tile.dtype() == dtype(),
+               "gather of mixed dtypes (%s into %s) — one staged tile "
+               "has one element type",
+               dtypeName(tile.dtype()), dtypeName(dtype()));
     // Adjacent views of one buffer knit back into a single segment —
     // the send side slices a staged tile into row windows, so a
     // receiver that gathers them in order reassembles the original
@@ -59,11 +66,13 @@ GatherTile::materialize()
     rsn_assert(count_ > 0, "materialize of empty gather");
     if (count_ == 1)
         return segs_[0].tile;
-    TileRef whole = TilePool::instance().acquire(total_);
-    float *dst = whole.mutableData();
+    const Dtype dt = dtype();
+    const std::uint32_t esize = dtypeBytes(dt);
+    TileRef whole = TilePool::instance().acquire(total_, dt);
+    auto *dst = static_cast<std::byte *>(whole.mutableRaw());
     for (std::size_t i = 0; i < count_; ++i) {
-        std::copy_n(segs_[i].tile.data(), segs_[i].elems, dst);
-        dst += segs_[i].elems;
+        std::memcpy(dst, segs_[i].tile.raw(), segs_[i].elems * esize);
+        dst += segs_[i].elems * esize;
         segs_[i].tile.release();
     }
     segs_[0].tile = std::move(whole);
@@ -104,31 +113,36 @@ TilePool::instance()
 }
 
 TileRef
-TilePool::acquire(std::uint64_t elems)
+TilePool::acquire(std::uint64_t elems, Dtype dtype)
 {
     checkOwner("acquire");
     rsn_assert(elems > 0, "empty tile");
-    std::uint32_t bucket = bucketFor(elems);
-    rsn_assert(bucket < kBuckets, "tile too large: %llu elems",
+    rsn_assert(elems <= (std::uint64_t(1) << 31),
+               "tile too large: %llu elems",
                static_cast<unsigned long long>(elems));
+    const std::uint64_t bytes = elems * dtypeBytes(dtype);
+    std::uint32_t bucket = bucketFor(bytes);
+    rsn_assert(bucket < kBuckets, "tile too large: %llu bytes",
+               static_cast<unsigned long long>(bytes));
     ++acquires_;
     ++live_;
     if (detail::TileHdr *h = free_[bucket]) {
         free_[bucket] = h->next;
         h->next = nullptr;
         h->refs = 1;
+        h->dtype = dtype;  // storage is dtype-agnostic; restamp
         ++reuses_;
-        free_bytes_ -= h->cap * sizeof(float);
+        free_bytes_ -= h->cap;
         return TileRef{h};
     }
-    std::uint64_t cap = std::uint64_t(1) << (bucket + kMinElemsLog2);
+    std::uint64_t cap = std::uint64_t(1) << (bucket + kMinBytesLog2);
     // Cache-line-aligned buffers: the header is 32 bytes, so payloads
     // land 32-byte aligned — which the SIMD GEMM packing panels rely on
     // (gemm_kernel.cc) and which keeps tile rows from straddling lines.
-    void *raw = ::operator new(sizeof(detail::TileHdr) +
-                                   cap * sizeof(float),
+    void *raw = ::operator new(sizeof(detail::TileHdr) + cap,
                                std::align_val_t{64});
-    auto *h = ::new (raw) detail::TileHdr{this, nullptr, cap, 1, bucket};
+    auto *h = ::new (raw) detail::TileHdr{
+        this, nullptr, cap, 1, static_cast<std::uint16_t>(bucket), dtype};
     ++buffers_allocated_;
     return TileRef{h};
 }
@@ -142,7 +156,7 @@ TilePool::retire(detail::TileHdr *h)
     --live_;
     h->next = free_[h->bucket];
     free_[h->bucket] = h;
-    free_bytes_ += h->cap * sizeof(float);
+    free_bytes_ += h->cap;
 }
 
 std::uint64_t

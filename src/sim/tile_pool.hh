@@ -1,6 +1,6 @@
 /**
  * @file
- * TilePool: recycled, refcounted FP32 tile buffers for Chunk payloads.
+ * TilePool: recycled, refcounted typed tile buffers for Chunk payloads.
  *
  * Functional-mode chunks used to carry a fresh
  * `shared_ptr<const vector<float>>` per payload — one control-block
@@ -14,6 +14,20 @@
  * copy-on-transform rule at the API level. When the last reference drops,
  * the buffer returns to its bucket's free list — steady-state traffic
  * allocates nothing (pinned by tests/sim/test_stream_alloc.cc).
+ *
+ * ## Typed tiles (ISSUE 10)
+ *
+ * Tiles carry a Dtype tag (common/dtype.hh). Buffer capacity and the
+ * free-list buckets are **byte**-based, so a retired FP32 buffer is
+ * reusable as a bf16 tile of twice the elements and vice versa — the
+ * pool is dtype-agnostic storage; only the header tag changes on
+ * acquire. TileRef windows (offset/length) stay **element**-based:
+ * slicing, COW, and tryExtend never need to know the element width
+ * beyond converting to bytes at the copy sites. Typed access is
+ * explicit — data()/mutableData() assert F32, data16()/mutableData16()
+ * assert a 16-bit dtype, raw() is the untyped byte view (checksums,
+ * fault injection) — so a dtype confusion fails loudly at the accessor
+ * instead of silently reinterpreting payload bits.
  *
  * ## Views and copy-on-write
  *
@@ -53,6 +67,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/dtype.hh"
 #include "common/log.hh"
 
 /** Owning-thread checks on the tile pool: on in debug builds (the
@@ -70,27 +85,38 @@ class TilePool;
 
 namespace detail {
 
-/** Header preceding each pooled buffer's float storage. */
+/** Header preceding each pooled buffer's payload storage. */
 struct TileHdr {
     TilePool *pool;      ///< Owning pool (for release on last unref).
     TileHdr *next;       ///< Free-list link while retired.
-    std::uint64_t cap;   ///< Element capacity (the bucket size).
+    std::uint64_t cap;   ///< Byte capacity (the bucket size).
     /** Plain (non-atomic) refcount: a tile lives and dies on the one
      *  lane thread that owns its pool, so refs never race. Cross-lane
      *  sharing is a contract violation the pool's owning-thread check
      *  catches in debug builds. */
     std::uint32_t refs;
-    std::uint32_t bucket;
+    /** Bucket index (uint16 keeps the header at 32 bytes now that a
+     *  dtype tag shares the word; there are only ~26 buckets). */
+    std::uint16_t bucket;
+    /** Element type of the current tenant. Storage is dtype-agnostic:
+     *  acquire() restamps this on every reuse. */
+    Dtype dtype;
+    std::uint8_t pad_ = 0;
 
-    float *payload() { return reinterpret_cast<float *>(this + 1); }
-    const float *payload() const
+    std::uint32_t elemBytes() const { return dtypeBytes(dtype); }
+    /** Element capacity of the current tenant's dtype. */
+    std::uint64_t elemCap() const { return cap / elemBytes(); }
+
+    std::byte *payload() { return reinterpret_cast<std::byte *>(this + 1); }
+    const std::byte *payload() const
     {
-        return reinterpret_cast<const float *>(this + 1);
+        return reinterpret_cast<const std::byte *>(this + 1);
     }
 };
 
-static_assert(sizeof(TileHdr) % alignof(float) == 0,
-              "payload must start float-aligned");
+static_assert(sizeof(TileHdr) == 32,
+              "payload must start 32-byte aligned (GEMM panels rely on "
+              "it) and the header must not grow the per-tile overhead");
 
 } // namespace detail
 
@@ -142,12 +168,38 @@ class TileRef
 
     explicit operator bool() const { return h_ != nullptr; }
 
-    /** Read-only payload access (the only access for shared tiles). */
+    /** Element type of the underlying tile (F32 for an empty ref). */
+    Dtype dtype() const { return h_ ? h_->dtype : Dtype::F32; }
+
+    /** Read-only payload access (the only access for shared tiles).
+     *  Asserts the tile is F32 — typed tiles use data16()/raw(). */
     const float *
     data() const
     {
         rsn_assert(h_, "deref of empty TileRef");
-        return h_->payload() + off_;
+        rsn_assert(h_->dtype == Dtype::F32,
+                   "float access to a %s tile", dtypeName(h_->dtype));
+        return reinterpret_cast<const float *>(h_->payload()) + off_;
+    }
+
+    /** Read-only access to a 16-bit (bf16/f16) tile's payload. */
+    const std::uint16_t *
+    data16() const
+    {
+        rsn_assert(h_, "deref of empty TileRef");
+        rsn_assert(h_->elemBytes() == 2,
+                   "u16 access to a %s tile", dtypeName(h_->dtype));
+        return reinterpret_cast<const std::uint16_t *>(h_->payload()) +
+               off_;
+    }
+
+    /** Untyped byte view of this ref's window (checksums, bit-flip
+     *  injection, byte copies). Valid for every dtype. */
+    const void *
+    raw() const
+    {
+        rsn_assert(h_, "deref of empty TileRef");
+        return h_->payload() + std::uint64_t(off_) * h_->elemBytes();
     }
 
     /**
@@ -155,14 +207,36 @@ class TileRef
      * reference — mutating a tile another consumer can still read would
      * break broadcast-payload immutability. A sole-owner *view* may
      * write through this too (nobody else can observe the buffer); use
-     * ensureUnique() when shared ownership is possible.
+     * ensureUnique() when shared ownership is possible. Asserts F32.
      */
     float *
     mutableData()
     {
         rsn_assert(h_ && h_->refs == 1,
                    "mutable access to a shared or empty tile");
-        return h_->payload() + off_;
+        rsn_assert(h_->dtype == Dtype::F32,
+                   "float access to a %s tile", dtypeName(h_->dtype));
+        return reinterpret_cast<float *>(h_->payload()) + off_;
+    }
+
+    /** Writable access to a sole-owned 16-bit tile's payload. */
+    std::uint16_t *
+    mutableData16()
+    {
+        rsn_assert(h_ && h_->refs == 1,
+                   "mutable access to a shared or empty tile");
+        rsn_assert(h_->elemBytes() == 2,
+                   "u16 access to a %s tile", dtypeName(h_->dtype));
+        return reinterpret_cast<std::uint16_t *>(h_->payload()) + off_;
+    }
+
+    /** Writable untyped view of a sole-owned tile (any dtype). */
+    void *
+    mutableRaw()
+    {
+        rsn_assert(h_ && h_->refs == 1,
+                   "mutable access to a shared or empty tile");
+        return h_->payload() + std::uint64_t(off_) * h_->elemBytes();
     }
 
     /**
@@ -174,9 +248,22 @@ class TileRef
      * bucket's spare capacity is uninitialized and stays unreachable.
      * Always returns writable storage of >= @p elems floats; elements
      * past @p elems of the old window remain reachable only on the
-     * in-place path.
+     * in-place path. Asserts F32 (ensureUniqueRaw serves any dtype).
      */
-    float *ensureUnique(std::uint64_t elems);
+    float *
+    ensureUnique(std::uint64_t elems)
+    {
+        rsn_assert(h_ && h_->dtype == Dtype::F32,
+                   "float COW access to a %s tile",
+                   dtypeName(h_ ? h_->dtype : Dtype::F32));
+        return static_cast<float *>(ensureUniqueRaw(elems));
+    }
+
+    /** Dtype-agnostic copy-on-write: same contract as ensureUnique but
+     *  over @p elems elements of the tile's own dtype, returned as an
+     *  untyped pointer (the fault injector's bit-flip path and the
+     *  typed Mem-FU transforms use this). */
+    void *ensureUniqueRaw(std::uint64_t elems);
 
     /**
      * An offset/length view of this ref's window: shares (and bumps)
@@ -202,7 +289,11 @@ class TileRef
 
     /** True when this ref is an offset/length window rather than the
      *  whole underlying buffer. */
-    bool isView() const { return h_ && (off_ != 0 || len_ != h_->cap); }
+    bool
+    isView() const
+    {
+        return h_ && (off_ != 0 || len_ != h_->elemCap());
+    }
 
     /**
      * If @p next views the same buffer immediately after this ref's
@@ -232,7 +323,7 @@ class TileRef
   private:
     friend class TilePool;
     explicit TileRef(detail::TileHdr *h)
-        : h_(h), len_(h ? static_cast<std::uint32_t>(h->cap) : 0)
+        : h_(h), len_(h ? static_cast<std::uint32_t>(h->elemCap()) : 0)
     {
     }
     TileRef(detail::TileHdr *h, std::uint32_t off, std::uint32_t len)
@@ -296,7 +387,16 @@ class GatherTile
     /** True when the whole gather is one contiguous tile (or empty). */
     bool contiguous() const { return count_ <= 1; }
 
-    /** Adopt @p tile as the next @p elems logical elements. */
+    /** Element type of the gathered segments (F32 when empty). All
+     *  segments share one dtype — append() asserts it. */
+    Dtype
+    dtype() const
+    {
+        return count_ ? segs_[0].tile.dtype() : Dtype::F32;
+    }
+
+    /** Adopt @p tile as the next @p elems logical elements. Segments
+     *  must agree on dtype (one staged tile has one element type). */
     void append(TileRef tile, std::uint64_t elems);
 
     const TileRef &
@@ -316,12 +416,21 @@ class GatherTile
     /**
      * Writable access to segment @p i (copy-on-write when the segment
      * is still shared with its producer — TileRef::ensureUnique).
+     * F32 gathers only; typed gathers go through segmentMutableRaw.
      */
     float *
     segmentMutable(std::size_t i)
     {
         rsn_assert(i < count_, "gather segment out of range");
         return segs_[i].tile.ensureUnique(segs_[i].elems);
+    }
+
+    /** Dtype-agnostic writable access to segment @p i (same COW rule). */
+    void *
+    segmentMutableRaw(std::size_t i)
+    {
+        rsn_assert(i < count_, "gather segment out of range");
+        return segs_[i].tile.ensureUniqueRaw(segs_[i].elems);
     }
 
     /**
@@ -371,10 +480,13 @@ class TilePool
     static TilePool &instance();
 
     /**
-     * Acquire a tile of at least @p elems floats. Contents are
-     * uninitialized; the caller fills via TileRef::mutableData().
+     * Acquire a tile of at least @p elems elements of @p dtype.
+     * Contents are uninitialized; the caller fills via
+     * TileRef::mutableData() (F32) / mutableData16() (bf16, f16).
+     * Buckets are byte-based, so any retired buffer of a sufficient
+     * byte capacity is reused regardless of its previous dtype.
      */
-    TileRef acquire(std::uint64_t elems);
+    TileRef acquire(std::uint64_t elems, Dtype dtype = Dtype::F32);
 
     /** @{ Stats (for tests and reports). */
     std::uint64_t buffersAllocated() const { return buffers_allocated_; }
@@ -402,16 +514,16 @@ class TilePool
   private:
     friend class TileRef;
 
-    /** Smallest bucket: 2^6 = 64 elements (a 8x8 FP32 tile). */
-    static constexpr std::uint32_t kMinElemsLog2 = 6;
-    /** Largest bucket: 2^31 elements (8 GiB); far above any tile. */
+    /** Smallest bucket: 2^8 = 256 bytes (an 8x8 FP32 tile). */
+    static constexpr std::uint32_t kMinBytesLog2 = 8;
+    /** Largest bucket: 2^33 bytes (8 GiB); far above any tile. */
     static constexpr std::uint32_t kBuckets = 26;
 
     static std::uint32_t
-    bucketFor(std::uint64_t elems)
+    bucketFor(std::uint64_t bytes)
     {
-        std::uint32_t log2 = std::bit_width(elems - 1);
-        return log2 <= kMinElemsLog2 ? 0 : log2 - kMinElemsLog2;
+        std::uint32_t log2 = std::bit_width(bytes - 1);
+        return log2 <= kMinBytesLog2 ? 0 : log2 - kMinBytesLog2;
     }
 
     void retire(detail::TileHdr *h);

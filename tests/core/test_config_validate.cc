@@ -113,6 +113,34 @@ TEST(ConfigValidate, RejectsZeroDepthsAndBudgets)
     expectInvalid(cfg, "zero watchdog budget");
 }
 
+TEST(ConfigValidate, PrecisionPolicyRejectsUnimplementedDtypes)
+{
+    // I8 is reserved enum space (no quantization parameters in the
+    // datapath yet): validate() must refuse it up front, naming the
+    // field, rather than tripping a kernel assert mid-run.
+    auto cfg = good();
+    cfg.precision.linear_weights = Dtype::I8;
+    expectInvalid(cfg, "i8 weights");
+    Status s = cfg.validate();
+    EXPECT_NE(s.message.find("linear_weights"), std::string::npos)
+        << s.message;
+
+    cfg = good();
+    cfg.precision.attention_activations = Dtype::I8;
+    expectInvalid(cfg, "i8 attention activations");
+
+    // Every combination of the implemented dtypes passes.
+    for (Dtype w : {Dtype::F32, Dtype::Bf16, Dtype::F16})
+        for (Dtype a : {Dtype::F32, Dtype::Bf16, Dtype::F16}) {
+            cfg = good();
+            cfg.precision.linear_weights = w;
+            cfg.precision.linear_activations = a;
+            cfg.precision.attention_activations = a;
+            EXPECT_TRUE(cfg.validate().ok())
+                << dtypeName(w) << "/" << dtypeName(a);
+        }
+}
+
 TEST(ConfigValidate, PropagatesFaultSpecErrors)
 {
     auto cfg = good();

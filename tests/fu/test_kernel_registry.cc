@@ -3,8 +3,8 @@
  * Unit tests for the runtime kernel dispatch registry (ISSUE 7):
  * name vocabulary, cpuid-probe gating with fabricated probes (probe
  * mocking — CpuProbe is plain data on purpose), the pure startup
- * selection policy resolveStartupIsa (RSN_ISA over the deprecated
- * RSN_NONLINEAR alias, lenient fallback on bad env values), the strict
+ * selection policy resolveStartupIsa (RSN_ISA with lenient fallback on
+ * bad values; the removed RSN_NONLINEAR alias hard-errors), the strict
  * Registry::select used by rsn-sim --isa (unknown-name rejection), and
  * the ScopedIsaOverride RAII contract. The per-kernel numerics live in
  * test_gemm_kernel.cc / test_nonlinear_simd.cc; the end-to-end golden
@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -189,46 +190,34 @@ TEST(KernelRegistry, CpuUnsupportedRsnIsaFallsBackWithWarning)
     EXPECT_NE(c.warning.find("avx512"), std::string::npos) << c.warning;
 }
 
-TEST(KernelRegistry, DeprecatedRsnNonlinearAliasStillWorks)
+TEST(KernelRegistry, RemovedRsnNonlinearIsAHardError)
 {
-    // RSN_NONLINEAR=exact meant the exact scalar nonlinear kernels;
-    // that is the scalar table now. "simd" meant the vectorized
-    // default, i.e. whatever the probe picks. Both warn (deprecation).
-    auto exact = kernel::resolveStartupIsa(nullptr, "exact",
+    // The RSN_NONLINEAR deprecation alias is gone (two majors stale).
+    // Any non-empty value — even ones the alias used to accept, and even
+    // with a valid RSN_ISA alongside — is now a fatal config error whose
+    // message points the user at RSN_ISA. Refusing to run beats silently
+    // ignoring a variable that used to select kernel tables.
+    for (const char *stale : {"exact", "simd", "fast"}) {
+        try {
+            kernel::resolveStartupIsa(nullptr, stale, fullAvx512Probe(),
+                                      x86CompiledIn());
+            FAIL() << "RSN_NONLINEAR=" << stale << " did not hard-error";
+        } catch (const std::runtime_error &e) {
+            EXPECT_NE(std::string(e.what()).find("RSN_ISA"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+    // RSN_ISA being set too does not excuse the stale variable.
+    EXPECT_THROW(kernel::resolveStartupIsa("portable", "exact",
                                            fullAvx512Probe(),
-                                           x86CompiledIn());
-    EXPECT_EQ(exact.isa, Isa::Scalar);
-    EXPECT_STREQ(exact.source, "env:RSN_NONLINEAR");
-    EXPECT_NE(exact.warning.find("deprecated"), std::string::npos)
-        << exact.warning;
-
-    auto simd = kernel::resolveStartupIsa(nullptr, "simd",
-                                          fullAvx512Probe(),
-                                          x86CompiledIn());
-    EXPECT_EQ(simd.isa, Isa::Avx512);
-    EXPECT_STREQ(simd.source, "env:RSN_NONLINEAR");
-    EXPECT_FALSE(simd.warning.empty());
-}
-
-TEST(KernelRegistry, RsnIsaWinsOverRsnNonlinear)
-{
-    // Precedence: the new variable beats the deprecated alias when
-    // both are set, even when they disagree.
-    auto c = kernel::resolveStartupIsa("portable", "exact",
-                                       fullAvx512Probe(),
-                                       x86CompiledIn());
-    EXPECT_EQ(c.isa, Isa::Portable);
-    EXPECT_STREQ(c.source, "env:RSN_ISA");
-}
-
-TEST(KernelRegistry, GarbageRsnNonlinearFallsBackWithWarning)
-{
-    auto c = kernel::resolveStartupIsa(nullptr, "fast",
-                                       fullAvx512Probe(),
+                                           x86CompiledIn()),
+                 std::runtime_error);
+    // An empty value is treated as unset, matching RSN_ISA's behavior.
+    auto c = kernel::resolveStartupIsa(nullptr, "", fullAvx512Probe(),
                                        x86CompiledIn());
     EXPECT_EQ(c.isa, Isa::Avx512);
     EXPECT_STREQ(c.source, "probe");
-    EXPECT_FALSE(c.warning.empty());
 }
 
 // ------------------------------------------- the live Registry object --

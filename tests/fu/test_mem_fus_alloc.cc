@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "common/dtype.hh"
 #include "fu/mem_fus.hh"
 #include "fu_harness.hh"
 #include "sim/tile_pool.hh"
@@ -360,6 +361,114 @@ TEST(MemStagingAlloc, MultiChunkGatherAssemblyIsZeroCopyAndAllocFree)
     for (std::uint32_t c = 0; c < kCols; ++c)
         row0 += got[0].at(0, c);
     EXPECT_NEAR(row0, 1.0, 1e-4);
+}
+
+/**
+ * The typed-tile variant of the full staging pipeline (ISSUE 10): a
+ * bf16 tile is loaded, sliced (byte-window views — still zero-copy),
+ * assembled by MemC, upconverted once for the fused softmax (the
+ * accumulate-in-FP32 contract), and stored back as bf16 slices. Every
+ * conversion temporary is a pooled tile, so after one full tile has
+ * warmed the pool's buckets, a second identical tile must flow through
+ * load -> slice -> send -> recv -> upconvert -> fuse -> downconvert ->
+ * store with **zero heap allocations**.
+ */
+TEST(MemStagingAlloc, TypedLoadSliceFuseStorePipelineIsAllocFreeWarm)
+{
+    constexpr std::uint32_t kRows = 256, kCols = 64;
+    constexpr std::uint64_t kElems = std::uint64_t(kRows) * kCols;
+    FuHarness h;
+    fu::MemAFu ma(h.eng, {FuType::MemA, 0}, kMeshA);
+    fu::MemCFu mc(h.eng, {FuType::MemC, 0}, /*mme_src=*/kMeshA,
+                  /*ddr=*/kDdr, 277.0);
+    sim::Stream &feed = h.input(ma, kDdr, 4096.0, 4);
+    sim::Stream &link = h.output(ma, kMeshA, 256.0, 4);
+    mc.addInput(kMeshA, &link);
+    sim::Stream &store = h.output(mc, kDdr, 256.0, 4);
+
+    isa::MemAUop a_load;
+    a_load.rows = kRows;
+    a_load.cols = kCols;
+    a_load.src = kDdr;
+    a_load.load = true;
+    isa::MemAUop a_send;
+    a_send.rows = kRows;
+    a_send.cols = kCols;
+    a_send.slices = 128;
+    a_send.send = true;
+
+    isa::MemCUop c_recv;
+    c_recv.recv = true;
+    c_recv.recv_chunks = 128;
+    c_recv.softmax = true;  // forces the FP32 upconvert pass
+    isa::MemCUop c_store;
+    c_store.store = true;
+    c_store.send_chunks = 64;
+    c_store.out_dtype = Dtype::Bf16;  // downconvert on the way out
+
+    sim::Task prog_a = h.program(ma, {a_load, a_send});
+    sim::Task prog_c = h.program(mc, {c_recv, c_store});
+
+    std::vector<sim::Chunk> to_feed;
+    {
+        sim::TileRef t =
+            sim::TilePool::instance().acquire(kElems, Dtype::Bf16);
+        auto *d = static_cast<std::uint16_t *>(t.mutableRaw());
+        for (std::uint64_t i = 0; i < kElems; ++i)
+            d[i] = rsn::f32ToBf16(float(i % 97) * 0.25f);
+        to_feed.push_back(
+            sim::makeTileChunk(kRows, kCols, std::move(t)));
+    }
+    sim::Task feeder = h.feedChunks(feed, std::move(to_feed));
+
+    // Drain inline (no chunk retention: held refs would pin the
+    // conversion tiles on the pool's live side), checking the stored
+    // chunks really are byte-true bf16.
+    std::uint64_t stored_bytes = 0;
+    int wrong_dtype = 0;
+    double sink = 0;
+    auto drain = [&](int n) -> sim::Task {
+        for (int i = 0; i < n; ++i) {
+            sim::Chunk c = co_await store.recv();
+            if (c.dtype != Dtype::Bf16)
+                ++wrong_dtype;
+            stored_bytes += c.bytes();
+            if (c.hasData())
+                sink += c.at(0, 0);  // upconverting read
+        }
+    };
+    sim::Task dr = drain(64);
+    ma.start();
+    mc.start();
+
+    // Window 1: bf16 slice -> send -> recv -> assemble. The slices are
+    // byte-window views of the loaded tile and the gather knits them
+    // back into one segment (tryExtend is dtype-agnostic), so the warm
+    // loop is as allocation-free as the FP32 pipeline's.
+    runUntilTransferred(h.eng, link, 16);
+    std::uint64_t before = news();
+    runUntilTransferred(h.eng, link, 112);
+    EXPECT_EQ(news(), before)
+        << "typed slice/send/recv/assemble path allocated per tile";
+
+    // Between the windows: the one FP32 upconvert pass for the fused
+    // softmax (a single pool acquire — the gather is one segment).
+    // Window 2: the store path, where every slice downconverts to bf16
+    // through a pooled conversion tile. The first few slices warm that
+    // bucket (in-flight depth); mid-store must then reuse, not allocate.
+    runUntilTransferred(h.eng, store, 8);
+    before = news();
+    runUntilTransferred(h.eng, store, 56);
+    EXPECT_EQ(news(), before)
+        << "typed downconverting store path allocated per tile";
+
+    ASSERT_TRUE(h.run());
+    EXPECT_TRUE(prog_a.done() && prog_c.done());
+    EXPECT_EQ(store.chunksTransferred(), 64u);
+    EXPECT_EQ(wrong_dtype, 0) << "store emitted a non-bf16 chunk";
+    // Byte-true wire accounting: 256x64 elements x 2 bytes.
+    EXPECT_EQ(stored_bytes, kElems * 2);
+    EXPECT_GT(sink, 0.0);  // softmax output, all finite positives
 }
 
 /**

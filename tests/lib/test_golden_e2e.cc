@@ -176,6 +176,99 @@ TEST(GoldenTrace, FunctionalOutputsUnderEveryKernelTable)
     EXPECT_GE(tables_run, 1u) << "no vectorized table was selectable";
 }
 
+/** Reduced encoder again, all-bf16 precision policy (ISSUE 10). Wire
+ *  and DRAM traffic halve, so the pinned latency must sit strictly
+ *  below the FP32 pin. Measured once and pinned like the FP32 ticks. */
+constexpr Tick kTinyEncoderBf16GoldenTicks = 8489;
+
+TEST(GoldenTrace, MixedPrecisionBf16TickCountAndNumerics)
+{
+    // The typed-tile datapath under the per-op precision policy
+    // (core/config.hh): bf16 weights and activations end to end, FP32
+    // accumulation and FP32 bias/LayerNorm parameters per the
+    // accumulate-in-FP32 contract (docs/datapath.md). Two pins:
+    //
+    //  - *time*: 16-bit chunks genuinely halve link and DRAM byte
+    //    counts, so the end-to-end latency must be strictly below the
+    //    FP32 golden run of the identical program — and exactly
+    //    kTinyEncoderBf16GoldenTicks, same discipline as FP32;
+    //  - *values*: outputs stay allclose to the FP32 reference under
+    //    the documented bf16 tolerance (docs/datapath.md: 8-bit
+    //    mantissa, ~0.4% per rounding, O(sqrt(k)) growth through the
+    //    FP32-accumulated GEMMs — 5e-2 covers every tensor the tiny
+    //    encoder produces with margin).
+    //
+    // No ScopedIsaOverride: the ctest sweep re-runs this test under
+    // RSN_ISA x {f32,bf16} (CMakeLists.txt), so it must hold under
+    // every table. Ticks may not depend on the table at all.
+    core::MachineConfig cfg = core::MachineConfig::vck190(true);
+    cfg.precision.linear_weights = Dtype::Bf16;
+    cfg.precision.linear_activations = Dtype::Bf16;
+    cfg.precision.attention_activations = Dtype::Bf16;
+    core::RsnMachine mach(cfg);
+    auto model = tinyModel();
+    auto compiled = lib::compileModel(mach, model,
+                                      lib::ScheduleOptions::optimized());
+    lib::initTensors(mach, compiled, /*seed=*/123);
+    auto expected = lib::referenceForward(mach, model, compiled);
+    auto r = mach.run(compiled.program);
+    ASSERT_TRUE(r.completed) << r.diagnosis;
+    EXPECT_LT(r.ticks, kTinyEncoderGoldenTicks)
+        << "bf16 tiles must beat FP32 end to end (half the wire bytes)";
+    EXPECT_EQ(r.ticks, kTinyEncoderBf16GoldenTicks)
+        << "bf16 end-to-end latency changed. If this PR deliberately "
+           "changes scheduling, the timing model, or the precision "
+           "policy's conversion sites, update kTinyEncoderBf16GoldenTicks "
+           "with the why; otherwise this is a regression.";
+
+    std::size_t compared = 0;
+    for (const auto &[name, expect] : expected) {
+        if (name == "input" || !compiled.hasTensor(name))
+            continue;
+        auto got = lib::readTensor(mach, compiled, name);
+        std::string why;
+        EXPECT_TRUE(ref::allclose(got, expect, 5e-2f, 5e-2f, &why))
+            << name << " (bf16 datapath): " << why;
+        ++compared;
+    }
+    EXPECT_GE(compared, 5u) << "golden comparison went vacuous";
+
+    const std::string out_name = finalOutput(model);
+    ASSERT_TRUE(compiled.hasTensor(out_name));
+    double got_sum = checksum(lib::readTensor(mach, compiled, out_name));
+    double ref_sum = checksum(expected.at(out_name));
+    EXPECT_TRUE(std::isfinite(got_sum));
+    EXPECT_NEAR(got_sum, ref_sum,
+                5e-2 * std::max(1.0, std::abs(ref_sum)));
+}
+
+TEST(GoldenTrace, MixedPrecisionPayloadsDoNotPerturbTiming)
+{
+    // The functional/timing separation holds for typed tiles too: a
+    // bf16 run ticks identically with and without payload carriage
+    // (chunk dtype — and therefore wire bytes — is stamped on the
+    // chunk itself, never derived from the presence of data).
+    Tick ticks[2] = {0, 0};
+    for (bool functional : {false, true}) {
+        core::MachineConfig cfg = core::MachineConfig::vck190(functional);
+        cfg.precision.linear_weights = Dtype::Bf16;
+        cfg.precision.linear_activations = Dtype::Bf16;
+        cfg.precision.attention_activations = Dtype::Bf16;
+        core::RsnMachine mach(cfg);
+        auto model = tinyModel();
+        auto compiled = lib::compileModel(
+            mach, model, lib::ScheduleOptions::optimized());
+        if (functional)
+            lib::initTensors(mach, compiled, 123);
+        auto r = mach.run(compiled.program);
+        ASSERT_TRUE(r.completed) << r.diagnosis;
+        ticks[functional] = r.ticks;
+    }
+    EXPECT_EQ(ticks[0], ticks[1])
+        << "carrying bf16 payloads changed simulated time";
+    EXPECT_EQ(ticks[0], kTinyEncoderBf16GoldenTicks);
+}
+
 TEST(GoldenTrace, FunctionalPayloadsDoNotPerturbTiming)
 {
     Tick ticks[2] = {0, 0};

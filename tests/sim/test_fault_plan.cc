@@ -271,13 +271,14 @@ TEST(FaultInjector, ResetReplaysTheIdenticalSchedule)
 TEST(FaultInjector, PayloadChecksumDetectsASingleFlippedBit)
 {
     std::vector<float> v(256, 1.25f);
-    auto base = rsn::sim::payloadChecksum(v.data(), v.size());
+    const std::uint64_t nbytes = v.size() * sizeof(float);
+    auto base = rsn::sim::payloadChecksum(v.data(), nbytes);
     // Flip one mantissa bit of one element.
     std::uint32_t bits;
     std::memcpy(&bits, &v[100], sizeof(bits));
     bits ^= 1u << 3;
     std::memcpy(&v[100], &bits, sizeof(bits));
-    EXPECT_NE(rsn::sim::payloadChecksum(v.data(), v.size()), base);
+    EXPECT_NE(rsn::sim::payloadChecksum(v.data(), nbytes), base);
 }
 
 } // namespace

@@ -80,9 +80,14 @@ for name in sorted(set(baseline) | set(current)):
     notes = []
     # A snapshot taken on different hardware runs different kernel
     # tables: note the ISA flip instead of calling it a regression
-    # (the ratio still prints, but apples-to-oranges is visible).
+    # (the ratio still prints, but apples-to-oranges is visible). Same
+    # for a dtype flip — a series that changed precision policy is not
+    # comparable to its baseline either.
     if base.get("isa") and cur.get("isa") and base["isa"] != cur["isa"]:
         notes.append(f"isa {base['isa']}->{cur['isa']}")
+    if base.get("dtype", "f32") != (cur.get("dtype") or "f32"):
+        notes.append(f"dtype {base.get('dtype', 'f32')}"
+                     f"->{cur.get('dtype', 'f32')}")
     if ratio < tolerance:
         notes.append("<< REGRESSED")
         problems.append(f"{name} at {ratio:.2f}x baseline")

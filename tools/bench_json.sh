@@ -49,25 +49,29 @@ for raw in raws:
                  "cpu_time_ns": b.get("cpu_time")}
         if b.get("time_unit") == "ms":
             entry["cpu_time_ns"] = b.get("cpu_time", 0) * 1e6
-        # The benchmark's SetLabel — for the payload-kernel benches this
-        # is the runtime-selected ISA table ("avx512", "scalar", ...),
-        # so the snapshot records which kernels produced each series;
-        # the sweep-executor series (BM_SweepThroughput/{1,4,8}) label
-        # their lane count as "jobs=N" instead, and the serving series
-        # (BM_ServingThroughput / BM_ServingP99) their offered load as
-        # "load=N" — both recorded as integers so the scaling and
-        # goodput/latency curves are machine-readable.
+        # The benchmark's SetLabel is a space-separated token list. A
+        # bare token is the runtime-selected ISA table ("avx512",
+        # "scalar", ...) so the snapshot records which kernels produced
+        # each series; the sweep-executor series (BM_SweepThroughput)
+        # label their lane count as "jobs=N", the serving series their
+        # offered load as "load=N" (both recorded as integers so the
+        # scaling and goodput/latency curves are machine-readable), and
+        # the typed-datapath series (ISSUE 10) carry their precision
+        # policy as "dtype=bf16" alongside the ISA token.
         label = b.get("label")
         if label:
-            if label.startswith("jobs="):
-                entry["jobs"] = int(label[len("jobs="):])
-            elif label.startswith("load="):
-                entry["offered_load"] = int(label[len("load="):])
-            else:
-                entry["isa"] = label
+            for tok in label.split():
+                if tok.startswith("jobs="):
+                    entry["jobs"] = int(tok[len("jobs="):])
+                elif tok.startswith("load="):
+                    entry["offered_load"] = int(tok[len("load="):])
+                elif tok.startswith("dtype="):
+                    entry["dtype"] = tok[len("dtype="):]
+                else:
+                    entry["isa"] = tok
         for counter in ("allocs_per_event", "allocs_per_chunk",
                         "allocs_per_tile", "p99_ticks", "p50_ticks",
-                        "goodput_rps"):
+                        "goodput_rps", "ticks"):
             if counter in b:
                 entry[counter] = b[counter]
         out["events_per_second"][b["name"]] = entry
